@@ -1,0 +1,348 @@
+package switchprobe
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (go test -bench=.).  Benchmarks share one lazily-built
+// experiment suite so the expensive measurement campaigns (calibration,
+// impact signatures, compression profiles, pairwise co-runs) are executed
+// once and reused; the first benchmark touching a set of artifacts pays for
+// building it.
+//
+// The BenchmarkAblation* functions quantify the design choices called out in
+// DESIGN.md: finite egress buffers, the eager/rendezvous threshold and the
+// size of the look-up-table grid.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+// benchPreset selects the harness scale: the 18-node default preset, or the
+// small CI preset when SWITCHPROBE_BENCH_PRESET=ci is set (or -short is
+// passed), so the full harness stays usable on small machines.
+func benchPreset() experiments.Preset {
+	if os.Getenv("SWITCHPROBE_BENCH_PRESET") == string(experiments.PresetCI) || testing.Short() {
+		return experiments.PresetCI
+	}
+	if os.Getenv("SWITCHPROBE_BENCH_PRESET") == string(experiments.PresetPaper) {
+		return experiments.PresetPaper
+	}
+	return experiments.PresetDefault
+}
+
+// sharedSuite returns the lazily-built shared experiment suite.
+func sharedSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.MustNewConfig(benchPreset(), 1)
+		benchSuite = experiments.NewSuite(cfg)
+	})
+	return benchSuite
+}
+
+// BenchmarkFig3PacketLatencies regenerates the probe-latency distributions of
+// the paper's Fig. 3 (idle switch plus each application).
+func BenchmarkFig3PacketLatencies(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MeanMicros[experiments.IdleLabel], "idle_mean_us")
+			b.ReportMetric(r.MeanMicros["FFTW"], "fftw_mean_us")
+		}
+	}
+}
+
+// BenchmarkFig6CompressionUtilization regenerates the switch-utilization
+// sweep of the CompressionB configuration grid (paper Fig. 6).
+func BenchmarkFig6CompressionUtilization(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			lo, hi := r.Range()
+			b.ReportMetric(lo, "util_min_pct")
+			b.ReportMetric(hi, "util_max_pct")
+		}
+	}
+}
+
+// BenchmarkFig7DegradationCurves regenerates the degradation-vs-utilization
+// curves of the paper's Fig. 7.
+func BenchmarkFig7DegradationCurves(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			maxOf := func(app string) float64 {
+				m := 0.0
+				for _, p := range r.Curves[app] {
+					if p.DegradationPct > m {
+						m = p.DegradationPct
+					}
+				}
+				return m
+			}
+			b.ReportMetric(maxOf("FFTW"), "fftw_max_deg_pct")
+			b.ReportMetric(maxOf("MCB"), "mcb_max_deg_pct")
+		}
+	}
+}
+
+// BenchmarkTable1PairSlowdowns regenerates the measured co-run slowdown
+// matrix of the paper's Table I.
+func BenchmarkTable1PairSlowdowns(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.SlowdownPct[0][0], "fftw_self_pct")
+		}
+	}
+}
+
+// BenchmarkFig8PredictionErrors regenerates the per-pair prediction errors of
+// the paper's Fig. 8.
+func BenchmarkFig8PredictionErrors(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(r.Study.Pairs)), "pairs")
+		}
+	}
+}
+
+// BenchmarkFig9ErrorSummary regenerates the per-model error summary of the
+// paper's Fig. 9 and reports the headline accuracy metrics.
+func BenchmarkFig9ErrorSummary(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MeanAbsErr["Queue"], "queue_mae_pts")
+			b.ReportMetric(100*r.FractionWithin10["Queue"], "queue_within10_pct")
+			b.ReportMetric(r.MeanAbsErr["AverageLT"], "averagelt_mae_pts")
+		}
+	}
+}
+
+// BenchmarkCalibration measures one idle-switch calibration run.
+func BenchmarkCalibration(b *testing.B) {
+	opts := ReducedOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(opts.WithSeed(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInfiniteBuffers compares probe latency under a heavy
+// injector with the default finite egress buffers against unlimited buffers
+// (no back-pressure).  Unlimited buffers let latency grow far beyond the
+// bounded band the paper's Fig. 3 shows.
+func BenchmarkAblationInfiniteBuffers(b *testing.B) {
+	heavy := NewInjectorConfig(7, 10, 2.5e4)
+	for i := 0; i < b.N; i++ {
+		finiteOpts := ReducedOptions().WithSeed(int64(i + 1))
+		cal, err := Calibrate(finiteOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finite, err := MeasureInjectorImpact(finiteOpts, cal, heavy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		infOpts := finiteOpts
+		infOpts.Machine.Net.EgressBufferBytes = 0
+		infCal, err := Calibrate(infOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		infinite, err := MeasureInjectorImpact(infOpts, infCal, heavy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(finite.Mean*1e6, "finite_mean_us")
+			b.ReportMetric(infinite.Mean*1e6, "infinite_mean_us")
+		}
+	}
+}
+
+// BenchmarkAblationEagerOnly compares FFTW's degradation under heavy
+// injection with the default eager/rendezvous threshold against an
+// eager-only protocol (the injector's 40 KB messages flood the switch
+// without a handshake).
+func BenchmarkAblationEagerOnly(b *testing.B) {
+	heavy := NewInjectorConfig(7, 10, 2.5e4)
+	for i := 0; i < b.N; i++ {
+		opts := ReducedOptions().WithSeed(int64(i + 1))
+		app, err := ApplicationByName("FFTW", opts.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := MeasureAppBaseline(opts, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rendezvous, err := MeasureAppUnderInjector(opts, app, heavy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eagerOpts := opts
+		eagerOpts.MPI.EagerThreshold = 1 << 30
+		eagerBase, err := MeasureAppBaseline(eagerOpts, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager, err := MeasureAppUnderInjector(eagerOpts, app, heavy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(DegradationPercent(base, rendezvous), "rendezvous_deg_pct")
+			b.ReportMetric(DegradationPercent(eagerBase, eager), "eager_deg_pct")
+		}
+	}
+}
+
+// BenchmarkAblationReducedGrid compares look-up-table accuracy when the
+// profile grid shrinks from the CI grid to just its two extreme
+// configurations, the effect the paper attributes the LT models' errors to.
+func BenchmarkAblationReducedGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := ReducedOptions().WithSeed(int64(i + 1))
+		cal, err := Calibrate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := ApplicationByName("MILC", opts.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coRunner, err := ApplicationByName("FFTW", opts.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coSig, err := MeasureAppImpact(opts, cal, coRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullGrid := inject.ReducedGrid()
+		coarseGrid := []inject.Config{fullGrid[0], fullGrid[len(fullGrid)-1]}
+		predictWith := func(grid []inject.Config) float64 {
+			prof, err := BuildProfile(opts, cal, app, grid, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pred, err := (model.AverageLT{}).Predict(prof, coSig)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pred
+		}
+		fine := predictWith(fullGrid)
+		coarse := predictWith(coarseGrid)
+		if i == 0 {
+			b.ReportMetric(fine, "fine_grid_pred_pct")
+			b.ReportMetric(coarse, "coarse_grid_pred_pct")
+		}
+	}
+}
+
+// BenchmarkAblationPhaseAwareQueue compares the paper's constant-utilization
+// queue model with this library's phase-aware extension on the pairing the
+// paper identifies as its hardest case: a network-sensitive target (FFTW)
+// co-running with a phase-varying co-runner (AMG).
+func BenchmarkAblationPhaseAwareQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := ReducedOptions().WithSeed(int64(i + 1))
+		cal, err := Calibrate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target, err := ApplicationByName("FFTW", opts.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coRunner, err := ApplicationByName("AMG", opts.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coSig, err := MeasureAppImpact(opts, cal, coRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := BuildProfile(opts, cal, target, ReducedInjectorGrid(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queue, err := (model.Queue{}).Predict(prof, coSig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phased, err := (model.QueuePhase{}).Predict(prof, coSig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ra, _, err := MeasureAppPair(opts, target, coRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured := DegradationPercent(prof.Baseline, ra)
+		if i == 0 {
+			b.ReportMetric(measured, "measured_pct")
+			b.ReportMetric(queue, "queue_pred_pct")
+			b.ReportMetric(phased, "queuephase_pred_pct")
+		}
+	}
+}
+
+// BenchmarkWorkloadBaselines measures the baseline iteration rate of every
+// application model at reduced scale (one run each per iteration).
+func BenchmarkWorkloadBaselines(b *testing.B) {
+	opts := ReducedOptions()
+	for _, app := range workload.Registry(opts.Scale) {
+		app := app
+		b.Run(app.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt, err := MeasureAppBaseline(opts.WithSeed(int64(i+1)), app)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(rt.TimePerIteration.Micros(), "virtual_us_per_iter")
+				}
+			}
+		})
+	}
+}

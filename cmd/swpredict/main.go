@@ -1,0 +1,100 @@
+// Command swpredict predicts how much a target application will slow down
+// when it shares a network switch with a co-runner, using the paper's four
+// models, and optionally validates the prediction against an actual co-run.
+//
+// Usage:
+//
+//	swpredict -target FFTW -corunner Lulesh [-preset ci|default|paper]
+//	          [-seed N] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/report"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swpredict", flag.ContinueOnError)
+	targetName := fs.String("target", "FFTW", "application whose slowdown is predicted")
+	coName := fs.String("corunner", "Lulesh", "application sharing the switch")
+	preset := fs.String("preset", string(experiments.PresetCI), "scale preset: paper, default or ci")
+	seed := fs.Int64("seed", 1, "base random seed")
+	validate := fs.Bool("validate", false, "also measure the real co-run slowdown for comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
+	if err != nil {
+		return err
+	}
+	target, err := workload.ByName(*targetName, cfg.Scale)
+	if err != nil {
+		return err
+	}
+	coRunner, err := workload.ByName(*coName, cfg.Scale)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Calibrating the idle switch (preset %s)...\n", *preset)
+	cal, err := core.Calibrate(cfg.Options)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  idle mean probe latency %.2f µs, service rate %.2e pkts/s\n",
+		cal.Idle.Mean*1e6, cal.Service.Mu)
+
+	fmt.Printf("Measuring %s's impact signature...\n", coRunner.Name())
+	coSig, err := core.MeasureAppImpact(cfg.Options, cal, coRunner)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  mean probe latency %.2f µs -> switch utilization %.1f%%\n",
+		coSig.Mean*1e6, coSig.UtilizationPct)
+
+	fmt.Printf("Building %s's compression profile (%d injector configurations)...\n",
+		target.Name(), len(cfg.ProfileGrid))
+	prof, err := core.BuildProfile(cfg.Options, cal, target, cfg.ProfileGrid, nil)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.Table{
+		Title:   fmt.Sprintf("Predicted slowdown of %s when co-running with %s", target.Name(), coRunner.Name()),
+		Headers: []string{"model", "predicted_slowdown_pct"},
+	}
+	for _, m := range model.All() {
+		pred, err := m.Predict(prof, coSig)
+		if err != nil {
+			return err
+		}
+		tbl.Rows = append(tbl.Rows, []string{m.Name(), fmt.Sprintf("%.1f", pred)})
+	}
+	fmt.Println(tbl.Render())
+
+	if *validate {
+		fmt.Println("Validating with a real co-run...")
+		ra, _, err := core.MeasureAppPair(cfg.Options, target, coRunner)
+		if err != nil {
+			return err
+		}
+		measured := core.DegradationPercent(prof.Baseline, ra)
+		fmt.Printf("Measured slowdown of %s with %s: %.1f%%\n", target.Name(), coRunner.Name(), measured)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	if err := run([]string{"-preset", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestRunRejectsUnknownApplications(t *testing.T) {
+	if err := run([]string{"-preset", "ci", "-target", "NotAnApp"}); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+	if err := run([]string{"-preset", "ci", "-corunner", "NotAnApp"}); err == nil {
+		t.Fatal("expected error for unknown co-runner")
+	}
+}

@@ -1,0 +1,151 @@
+// Command swprobe reproduces the paper's experiments on the simulated
+// cluster and prints each requested table or figure as text (and optionally
+// CSV).
+//
+// Usage:
+//
+//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all [-preset paper|default|ci]
+//	        [-seed N] [-parallel N] [-csv DIR]
+//
+// Example:
+//
+//	swprobe -exp fig9 -preset default
+//	swprobe -exp all -preset ci -csv ./results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/report"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("swprobe", flag.ContinueOnError)
+	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9 or all")
+	preset := fs.String("preset", string(experiments.PresetDefault), "scale preset: paper, default or ci")
+	seed := fs.Int64("seed", 1, "base random seed")
+	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = all CPUs)")
+	csvDir := fs.String("csv", "", "directory to write CSV files into (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
+	if err != nil {
+		return err
+	}
+	cfg.Parallelism = *parallel
+	suite := experiments.NewSuite(cfg)
+
+	var wanted []string
+	if *exp == "all" {
+		wanted = experiments.Names
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			wanted = append(wanted, strings.TrimSpace(name))
+		}
+	}
+
+	for _, name := range wanted {
+		start := time.Now()
+		tbl, extra, err := runOne(suite, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== %s (preset %s, seed %d, %.1fs) ==\n", name, *preset, *seed, time.Since(start).Seconds())
+		fmt.Fprintln(out, tbl.Render())
+		if extra != "" {
+			fmt.Fprintln(out, extra)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runOne produces the table (and optional trailing text) of one experiment.
+func runOne(suite *experiments.Suite, name string) (report.Table, string, error) {
+	switch name {
+	case "fig3":
+		r, err := suite.Fig3()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		return report.Fig3Table(r), "", nil
+	case "fig6":
+		r, err := suite.Fig6()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		lo, hi := r.Range()
+		return report.Fig6Table(r), fmt.Sprintf("Utilization range: %.1f%% .. %.1f%%\n", lo, hi), nil
+	case "fig7":
+		r, err := suite.Fig7()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		labels := r.Apps
+		slopes := make([]float64, len(labels))
+		for i, app := range labels {
+			slopes[i] = r.Fits[app].Slope
+		}
+		chart := report.BarChart("Sensitivity (degradation points per utilization point)", labels, slopes, 40)
+		return report.Fig7Table(r), chart, nil
+	case "table1":
+		r, err := suite.Table1()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		return report.Table1Table(r), "", nil
+	case "fig8":
+		r, err := suite.Fig8()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		return report.Fig8Table(r), "", nil
+	case "fig9":
+		r, err := suite.Fig9()
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		boxes := make([]stats.BoxPlot, len(r.Models))
+		for i, m := range r.Models {
+			boxes[i] = r.Boxes[m]
+		}
+		chart := report.BoxChart("Prediction error quartiles", r.Models, boxes, 50)
+		return report.Fig9Table(r), chart + "\n" + report.Summary(r), nil
+	default:
+		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, all)",
+			name, strings.Join(experiments.Names, ", "))
+	}
+}
+
+// writeCSV writes one experiment's table into dir/<name>.csv.
+func writeCSV(dir, name string, tbl report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/report"
+)
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	if err := run([]string{"-preset", "bogus", "-exp", "fig6"}, os.Stdout); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-preset", "ci", "-exp", "fig99"}, os.Stdout); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}, os.Stdout); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunOneUnknownName(t *testing.T) {
+	suite := experiments.NewSuite(experiments.MustNewConfig(experiments.PresetCI, 1))
+	if _, _, err := runOne(suite, "bogus"); err == nil {
+		t.Fatal("expected error for unknown experiment name")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := report.Table{Headers: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	if err := writeCSV(dir, "demo", tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a,b\n1,2") {
+		t.Fatalf("csv content = %q", data)
+	}
+	// Nested directory creation.
+	if err := writeCSV(filepath.Join(dir, "x", "y"), "demo", tbl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run is slow; skipped in -short mode")
+	}
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	csvDir := t.TempDir()
+	if err := run([]string{"-preset", "ci", "-exp", "fig6", "-seed", "3", "-csv", csvDir}, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "utilization_pct") {
+		t.Fatalf("unexpected CLI output:\n%s", data)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig6.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}

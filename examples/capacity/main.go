@@ -1,0 +1,62 @@
+// Capacity planning: estimate how an application would perform on a less
+// capable switch (or one shared with more work) by running it against
+// increasingly aggressive CompressionB configurations — the paper's
+// compression experiment (Fig. 7) for a single application.
+//
+// Run with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	switchprobe "github.com/hpcperf/switchprobe"
+)
+
+func main() {
+	opts := switchprobe.ReducedOptions()
+
+	cal, err := switchprobe.Calibrate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := switchprobe.ApplicationByName("MILC", opts.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small injector grid spanning light to heavy switch pressure.
+	grid := []switchprobe.InjectorConfig{
+		switchprobe.NewInjectorConfig(1, 1, 2.5e7),
+		switchprobe.NewInjectorConfig(4, 1, 2.5e6),
+		switchprobe.NewInjectorConfig(7, 1, 2.5e5),
+		switchprobe.NewInjectorConfig(7, 10, 2.5e4),
+	}
+
+	prof, err := switchprobe.BuildProfile(opts, cal, app, grid, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Compression profile of %s (baseline %v per iteration):\n\n", app.Name(), prof.Baseline.TimePerIteration)
+	fmt.Printf("%-22s  %-18s  %s\n", "injector config", "switch util (%)", "slowdown (%)")
+	points := append([]switchprobe.ProfilePoint(nil), prof.Points...)
+	sort.Slice(points, func(i, j int) bool { return points[i].UtilizationPct < points[j].UtilizationPct })
+	for _, p := range points {
+		fmt.Printf("%-22s  %-18.1f  %.1f\n", p.Injector.Label(), p.UtilizationPct, p.DegradationPct)
+	}
+
+	// Interpolate the curve at a planning target: "what if 60% of the switch
+	// is taken by other tenants?"
+	const planned = 60.0
+	deg, err := prof.DegradationAt(planned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAt %.0f%% switch utilization, expect %s to run about %.0f%% slower.\n",
+		planned, app.Name(), deg)
+}

@@ -1,0 +1,72 @@
+// Co-schedule prediction: decide whether two applications can share a switch
+// by predicting how much each will slow the other down, then validate the
+// prediction with a real co-run (the paper's Section V workflow for one
+// application pair).
+//
+// Run with:
+//
+//	go run ./examples/coschedule
+package main
+
+import (
+	"fmt"
+	"log"
+
+	switchprobe "github.com/hpcperf/switchprobe"
+)
+
+func main() {
+	opts := switchprobe.ReducedOptions()
+
+	targetName, coName := "FFTW", "MCB"
+	target, err := switchprobe.ApplicationByName(targetName, opts.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coRunner, err := switchprobe.ApplicationByName(coName, opts.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cal, err := switchprobe.Calibrate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Impact experiment on the co-runner: how much switch does it use?
+	coSig, err := switchprobe.MeasureAppImpact(opts, cal, coRunner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s utilizes %.1f%% of the switch queue.\n\n", coName, coSig.UtilizationPct)
+
+	// Compression experiments on the target: how does it react to reduced
+	// switch capability?
+	prof, err := switchprobe.BuildProfile(opts, cal, target, switchprobe.ReducedInjectorGrid(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict with all four models.
+	fmt.Printf("Predicted slowdown of %s when co-scheduled with %s:\n", targetName, coName)
+	for _, m := range switchprobe.Predictors() {
+		pred, err := m.Predict(prof, coSig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %6.1f%%\n", m.Name(), pred)
+	}
+
+	// Ground truth: actually co-run the two applications.
+	ra, rb, err := switchprobe.MeasureAppPair(opts, target, coRunner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coBase, err := switchprobe.MeasureAppBaseline(opts, coRunner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMeasured slowdowns from a real co-run:\n")
+	fmt.Printf("  %-16s %6.1f%%\n", targetName, switchprobe.DegradationPercent(prof.Baseline, ra))
+	fmt.Printf("  %-16s %6.1f%%\n", coName, switchprobe.DegradationPercent(coBase, rb))
+}

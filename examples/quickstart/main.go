@@ -1,0 +1,54 @@
+// Quickstart: calibrate the switch, measure one application's switch
+// utilization and its baseline iteration rate.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	switchprobe "github.com/hpcperf/switchprobe"
+)
+
+func main() {
+	// ReducedOptions uses a small 6-node switch and scaled-down problem
+	// sizes so the example finishes in a few seconds; swap in
+	// DefaultOptions() for the paper-scale 18-node machine.
+	opts := switchprobe.ReducedOptions()
+
+	// Step 1: calibrate the idle switch.  This derives the M/G/1 service
+	// model (µ and Var(S)) that converts probe latencies into utilization.
+	cal, err := switchprobe.Calibrate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Idle switch: mean probe latency %.2f µs (utilization %.1f%%)\n",
+		cal.Idle.Mean*1e6, cal.Idle.UtilizationPct)
+
+	// Step 2: pick an application and measure its impact signature — what
+	// ImpactB sees while the application runs.
+	app, err := switchprobe.ApplicationByName("FFTW", opts.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := switchprobe.MeasureAppImpact(opts, cal, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s running: mean probe latency %.2f µs -> switch utilization %.1f%%\n",
+		app.Name(), sig.Mean*1e6, sig.UtilizationPct)
+
+	// Step 3: measure the application's own baseline performance.
+	base, err := switchprobe.MeasureAppBaseline(opts, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline: %v per iteration (%d iterations measured)\n",
+		app.Name(), base.TimePerIteration, base.Iterations)
+
+	fmt.Println()
+	fmt.Println("Next steps: see examples/contention, examples/capacity and examples/coschedule.")
+}

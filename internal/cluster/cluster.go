@@ -1,0 +1,249 @@
+// Package cluster models the machine the experiments run on: a set of
+// multi-socket compute nodes attached to a single network switch, and the
+// placement of software components (jobs) onto cores.
+//
+// The defaults mirror one bottom-level switch of LLNL's Cab cluster as
+// described in the paper's experimental setup: 18 nodes, two 8-core Intel
+// Xeon E5-2670 sockets per node at 2.6 GHz, QLogic QDR switch with ~5 GB/s
+// links.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// Config describes the machine.
+type Config struct {
+	// Net is the switch/link configuration.
+	Net netsim.Config
+	// SocketsPerNode is the number of CPU sockets per node.
+	SocketsPerNode int
+	// CoresPerSocket is the number of cores per socket.
+	CoresPerSocket int
+	// ClockHz is the core clock frequency, used to convert the cycle counts
+	// of the paper's benchmark parameters (e.g. CompressionB's sleep of B
+	// cycles) into time.
+	ClockHz float64
+	// IntraNodeLatency is the latency of a message between two ranks on the
+	// same node (shared memory path).
+	IntraNodeLatency sim.Duration
+	// IntraNodeBandwidth is the shared-memory copy bandwidth in bytes/second.
+	IntraNodeBandwidth float64
+}
+
+// CabConfig returns the Cab-like default machine.
+func CabConfig() Config {
+	return Config{
+		Net:                netsim.CabConfig(),
+		SocketsPerNode:     2,
+		CoresPerSocket:     8,
+		ClockHz:            2.6e9,
+		IntraNodeLatency:   600 * sim.Nanosecond,
+		IntraNodeBandwidth: 8e9,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.SocketsPerNode <= 0 {
+		return fmt.Errorf("cluster: non-positive sockets per node %d", c.SocketsPerNode)
+	}
+	if c.CoresPerSocket <= 0 {
+		return fmt.Errorf("cluster: non-positive cores per socket %d", c.CoresPerSocket)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("cluster: non-positive clock %v", c.ClockHz)
+	}
+	if c.IntraNodeLatency < 0 {
+		return fmt.Errorf("cluster: negative intra-node latency %v", c.IntraNodeLatency)
+	}
+	if c.IntraNodeBandwidth <= 0 {
+		return fmt.Errorf("cluster: non-positive intra-node bandwidth %v", c.IntraNodeBandwidth)
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes attached to the switch.
+func (c Config) Nodes() int { return c.Net.Nodes }
+
+// CoresPerNode returns the number of cores per node.
+func (c Config) CoresPerNode() int { return c.SocketsPerNode * c.CoresPerSocket }
+
+// TotalCores returns the number of cores in the whole machine.
+func (c Config) TotalCores() int { return c.Nodes() * c.CoresPerNode() }
+
+// CoreID identifies one core in the machine.
+type CoreID struct {
+	Node   int
+	Socket int
+	Core   int // core index within the socket
+}
+
+// String renders the core id as node/socket/core.
+func (c CoreID) String() string { return fmt.Sprintf("n%d.s%d.c%d", c.Node, c.Socket, c.Core) }
+
+// Placement assigns one rank of a job to a core.
+type Placement struct {
+	Rank int
+	Core CoreID
+}
+
+// Job is a software component (a whole application or a micro-benchmark)
+// placed on the machine.
+type Job struct {
+	Name       string
+	Placements []Placement
+}
+
+// Size returns the number of ranks in the job.
+func (j *Job) Size() int { return len(j.Placements) }
+
+// NodeOf returns, for every rank, the node it is placed on (the mapping the
+// MPI layer needs).
+func (j *Job) NodeOf() []int {
+	out := make([]int, len(j.Placements))
+	for _, p := range j.Placements {
+		out[p.Rank] = p.Core.Node
+	}
+	return out
+}
+
+// Nodes returns the sorted set of distinct nodes the job uses.
+func (j *Job) Nodes() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, p := range j.Placements {
+		if !seen[p.Core.Node] {
+			seen[p.Core.Node] = true
+			out = append(out, p.Core.Node)
+		}
+	}
+	return out
+}
+
+// Machine is the simulated machine: kernel, network and core allocation
+// state.
+type Machine struct {
+	cfg  Config
+	k    *sim.Kernel
+	net  *netsim.Network
+	used map[CoreID]string
+}
+
+// New builds a machine on the given kernel.
+func New(k *sim.Kernel, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := netsim.New(k, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, k: k, net: net, used: make(map[CoreID]string)}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(k *sim.Kernel, cfg Config) *Machine {
+	m, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Kernel returns the simulation kernel driving the machine.
+func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// Network returns the simulated switch network.
+func (m *Machine) Network() *netsim.Network { return m.net }
+
+// CyclesToDuration converts a cycle count at the machine's clock rate into
+// virtual time.  CompressionB's "bubble" parameter B is expressed in cycles.
+func (m *Machine) CyclesToDuration(cycles float64) sim.Duration {
+	return sim.Duration(cycles / m.cfg.ClockHz * float64(sim.Second))
+}
+
+// FreeCores returns the number of unallocated cores on the given node.
+func (m *Machine) FreeCores(node int) int {
+	free := 0
+	for s := 0; s < m.cfg.SocketsPerNode; s++ {
+		for c := 0; c < m.cfg.CoresPerSocket; c++ {
+			if _, ok := m.used[CoreID{Node: node, Socket: s, Core: c}]; !ok {
+				free++
+			}
+		}
+	}
+	return free
+}
+
+// AllocatedJobOn returns the job name occupying a core, if any.
+func (m *Machine) AllocatedJobOn(core CoreID) (string, bool) {
+	name, ok := m.used[core]
+	return name, ok
+}
+
+// AllocateSpread places ranksPerSocket ranks of a new job on every socket of
+// the first nodes nodes, assigning ranks in node-major, socket-minor, core
+// order (the paper's process mapping: e.g. 4 processes per socket on all 18
+// nodes gives 144 ranks).  It fails if any required core is already used.
+func (m *Machine) AllocateSpread(name string, ranksPerSocket, nodes int) (*Job, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: job needs a name")
+	}
+	if ranksPerSocket <= 0 || ranksPerSocket > m.cfg.CoresPerSocket {
+		return nil, fmt.Errorf("cluster: ranks per socket %d outside [1, %d]", ranksPerSocket, m.cfg.CoresPerSocket)
+	}
+	if nodes <= 0 || nodes > m.cfg.Nodes() {
+		return nil, fmt.Errorf("cluster: node count %d outside [1, %d]", nodes, m.cfg.Nodes())
+	}
+	var placements []Placement
+	rank := 0
+	for n := 0; n < nodes; n++ {
+		for s := 0; s < m.cfg.SocketsPerNode; s++ {
+			allocated := 0
+			for c := 0; c < m.cfg.CoresPerSocket && allocated < ranksPerSocket; c++ {
+				core := CoreID{Node: n, Socket: s, Core: c}
+				if _, taken := m.used[core]; taken {
+					continue
+				}
+				placements = append(placements, Placement{Rank: rank, Core: core})
+				rank++
+				allocated++
+			}
+			if allocated < ranksPerSocket {
+				// Roll back the partial allocation bookkeeping below never
+				// happened (we only commit at the end), so just fail.
+				return nil, fmt.Errorf("cluster: not enough free cores on node %d socket %d for job %q", n, s, name)
+			}
+		}
+	}
+	job := &Job{Name: name, Placements: placements}
+	for _, p := range placements {
+		m.used[p.Core] = name
+	}
+	return job, nil
+}
+
+// Release frees every core held by the job.
+func (m *Machine) Release(job *Job) {
+	if job == nil {
+		return
+	}
+	for _, p := range job.Placements {
+		if m.used[p.Core] == job.Name {
+			delete(m.used, p.Core)
+		}
+	}
+}
+
+// AllocatedCores returns the number of cores currently allocated to any job.
+func (m *Machine) AllocatedCores() int { return len(m.used) }

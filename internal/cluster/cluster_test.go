@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+func smallConfig() Config {
+	cfg := CabConfig()
+	cfg.Net.Nodes = 4
+	return cfg
+}
+
+func TestCabConfigShape(t *testing.T) {
+	cfg := CabConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes() != 18 {
+		t.Fatalf("nodes = %d, want 18", cfg.Nodes())
+	}
+	if cfg.CoresPerNode() != 16 {
+		t.Fatalf("cores per node = %d, want 16", cfg.CoresPerNode())
+	}
+	if cfg.TotalCores() != 288 {
+		t.Fatalf("total cores = %d, want 288", cfg.TotalCores())
+	}
+	if cfg.ClockHz != 2.6e9 {
+		t.Fatalf("clock = %v, want 2.6 GHz", cfg.ClockHz)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Net = netsim.Config{} },
+		func(c *Config) { c.SocketsPerNode = 0 },
+		func(c *Config) { c.CoresPerSocket = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.IntraNodeLatency = -1 },
+		func(c *Config) { c.IntraNodeBandwidth = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := CabConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewAndMustNew(t *testing.T) {
+	k := sim.NewKernel(1)
+	m, err := New(k, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel() != k {
+		t.Fatal("kernel not wired through")
+	}
+	if m.Network() == nil || m.Network().Nodes() != 4 {
+		t.Fatal("network not built from config")
+	}
+	if _, err := New(k, Config{}); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(k, Config{})
+}
+
+func TestCyclesToDuration(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := MustNew(k, smallConfig())
+	// 2.6e9 cycles at 2.6 GHz is exactly one second.
+	if got := m.CyclesToDuration(2.6e9); got != sim.Second {
+		t.Fatalf("CyclesToDuration(2.6e9) = %v, want 1s", got)
+	}
+	// The paper's smallest bubble, 2.5e4 cycles, is ~9.6 µs.
+	got := m.CyclesToDuration(2.5e4)
+	if got < 9*sim.Microsecond || got > 10*sim.Microsecond {
+		t.Fatalf("2.5e4 cycles = %v, want ~9.6 µs", got)
+	}
+}
+
+func TestCoreIDString(t *testing.T) {
+	if s := (CoreID{Node: 3, Socket: 1, Core: 5}).String(); s != "n3.s1.c5" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestAllocateSpreadPaperLayout(t *testing.T) {
+	// The paper's app layout: 4 ranks per socket on 18 nodes -> 144 ranks.
+	k := sim.NewKernel(1)
+	m := MustNew(k, CabConfig())
+	app, err := m.AllocateSpread("FFTW", 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Size() != 144 {
+		t.Fatalf("ranks = %d, want 144", app.Size())
+	}
+	nodeOf := app.NodeOf()
+	if len(nodeOf) != 144 {
+		t.Fatalf("NodeOf length = %d", len(nodeOf))
+	}
+	// Ranks are node-major: ranks 0..7 on node 0, 8..15 on node 1, ...
+	if nodeOf[0] != 0 || nodeOf[7] != 0 || nodeOf[8] != 1 || nodeOf[143] != 17 {
+		t.Fatalf("unexpected rank->node mapping: %v...", nodeOf[:10])
+	}
+	if got := len(app.Nodes()); got != 18 {
+		t.Fatalf("distinct nodes = %d, want 18", got)
+	}
+	if m.AllocatedCores() != 144 {
+		t.Fatalf("allocated = %d, want 144", m.AllocatedCores())
+	}
+}
+
+func TestAllocateMultipleJobsDisjoint(t *testing.T) {
+	// ImpactB (1/socket) + app (4/socket) + second app (4/socket) must fit
+	// without sharing cores (paper's co-run layout uses at most half the
+	// cores per app plus the probe cores).
+	k := sim.NewKernel(1)
+	m := MustNew(k, CabConfig())
+	impact, err := m.AllocateSpread("impact", 1, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AllocateSpread("appA", 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocateSpread("appB", 3, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.Size() != 36 || a.Size() != 144 || b.Size() != 108 {
+		t.Fatalf("sizes = %d/%d/%d", impact.Size(), a.Size(), b.Size())
+	}
+	seen := make(map[CoreID]bool)
+	for _, job := range []*Job{impact, a, b} {
+		for _, p := range job.Placements {
+			if seen[p.Core] {
+				t.Fatalf("core %v allocated twice", p.Core)
+			}
+			seen[p.Core] = true
+		}
+	}
+	// 1+4+3 = 8 ranks per socket = full socket; allocating one more rank per
+	// socket must fail.
+	if _, err := m.AllocateSpread("overflow", 1, 18); err == nil {
+		t.Fatal("expected allocation failure when sockets are full")
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := MustNew(k, smallConfig())
+	if _, err := m.AllocateSpread("", 1, 2); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if _, err := m.AllocateSpread("x", 0, 2); err == nil {
+		t.Fatal("expected error for zero ranks per socket")
+	}
+	if _, err := m.AllocateSpread("x", 99, 2); err == nil {
+		t.Fatal("expected error for too many ranks per socket")
+	}
+	if _, err := m.AllocateSpread("x", 1, 0); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	if _, err := m.AllocateSpread("x", 1, 99); err == nil {
+		t.Fatal("expected error for too many nodes")
+	}
+}
+
+func TestReleaseFreesCores(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := MustNew(k, smallConfig())
+	job, err := m.AllocateSpread("a", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.FreeCores(0)
+	m.Release(job)
+	after := m.FreeCores(0)
+	if after != before+8 {
+		t.Fatalf("free cores on node 0: before=%d after=%d", before, after)
+	}
+	if m.AllocatedCores() != 0 {
+		t.Fatalf("allocated = %d after release", m.AllocatedCores())
+	}
+	// Releasing nil or an already-released job is harmless.
+	m.Release(nil)
+	m.Release(job)
+	// The cores can be reused.
+	if _, err := m.AllocateSpread("b", 8, 4); err != nil {
+		t.Fatalf("reallocation failed: %v", err)
+	}
+}
+
+func TestAllocatedJobOn(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := MustNew(k, smallConfig())
+	job, err := m.AllocateSpread("probe", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := job.Placements[0].Core
+	name, ok := m.AllocatedJobOn(core)
+	if !ok || name != "probe" {
+		t.Fatalf("AllocatedJobOn = %q,%v", name, ok)
+	}
+	if _, ok := m.AllocatedJobOn(CoreID{Node: 3, Socket: 1, Core: 7}); ok {
+		t.Fatal("unallocated core reported as used")
+	}
+}
+
+func TestLuleshStyleCubicAllocation(t *testing.T) {
+	// Lulesh runs 64 ranks: 2 per socket on 16 nodes.
+	k := sim.NewKernel(1)
+	m := MustNew(k, CabConfig())
+	job, err := m.AllocateSpread("lulesh", 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Size() != 64 {
+		t.Fatalf("ranks = %d, want 64", job.Size())
+	}
+	if len(job.Nodes()) != 16 {
+		t.Fatalf("nodes used = %d, want 16", len(job.Nodes()))
+	}
+}

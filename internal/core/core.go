@@ -1,0 +1,578 @@
+// Package core implements the paper's active-measurement methodology: it
+// co-schedules the ImpactB probe, the CompressionB injector and application
+// workloads on a simulated single-switch machine and extracts the
+// measurements every model in the paper is built from:
+//
+//   - impact signatures — the distribution of probe-packet latencies observed
+//     while a software component runs, summarized as mean, standard
+//     deviation, histogram and (via the M/G/1 inversion) switch-queue
+//     utilization;
+//   - compression profiles — how an application's iteration time degrades as
+//     CompressionB removes increasing fractions of switch capability;
+//   - co-run measurements — the ground-truth slowdown of two applications
+//     sharing the switch, used to validate the predictors.
+//
+// Every measurement runs on a fresh simulation kernel with a seed derived
+// from the experiment options and a run label, so results are deterministic
+// and runs can execute in parallel.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/mpisim"
+	"github.com/hpcperf/switchprobe/internal/probe"
+	"github.com/hpcperf/switchprobe/internal/queuing"
+	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/stats"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// Options collects everything a measurement run needs.
+type Options struct {
+	// Seed is the base seed; every run derives its own stream from it.
+	Seed int64
+	// Machine is the simulated machine configuration.
+	Machine cluster.Config
+	// MPI is the message-passing runtime configuration.
+	MPI mpisim.Config
+	// Probe is the ImpactB configuration.
+	Probe probe.Config
+	// Scale is the application problem scale.
+	Scale workload.Scale
+	// Window is the virtual-time measurement window of each run.
+	Window sim.Duration
+	// WarmupIterations is how many leading application iterations are
+	// excluded from timing.
+	WarmupIterations int
+	// MinIterations is the minimum number of timed iterations required for a
+	// valid runtime measurement.
+	MinIterations int
+	// MinProbeSamples is the minimum number of probe samples required for a
+	// valid signature.
+	MinProbeSamples int
+	// Histogram binning (microseconds) used for impact signatures, matching
+	// the range of the paper's Fig. 3.
+	HistLoMicros float64
+	HistHiMicros float64
+	HistBins     int
+	// PhaseWindows is the number of equal time windows the measurement
+	// window is split into for phase-resolved signatures (the extension that
+	// addresses the paper's constant-utilization assumption).  Values below 1
+	// disable phase resolution.
+	PhaseWindows int
+}
+
+// DefaultOptions returns paper-scale options: the Cab-like 18-node machine,
+// full problem sizes and an 80 ms measurement window.
+func DefaultOptions() Options {
+	return Options{
+		Seed:             1,
+		Machine:          cluster.CabConfig(),
+		MPI:              mpisim.DefaultConfig(),
+		Probe:            probe.DefaultConfig(),
+		Scale:            workload.FullScale,
+		Window:           80 * sim.Millisecond,
+		WarmupIterations: 1,
+		MinIterations:    3,
+		MinProbeSamples:  30,
+		HistLoMicros:     0,
+		HistHiMicros:     20,
+		HistBins:         40,
+		PhaseWindows:     6,
+	}
+}
+
+// TestOptions returns reduced options for fast unit tests and CI: a 6-node
+// machine, strongly reduced problem sizes and a short window.
+func TestOptions() Options {
+	o := DefaultOptions()
+	o.Machine.Net.Nodes = 6
+	o.Scale = workload.Reduced(0.08)
+	o.Window = 25 * sim.Millisecond
+	o.Probe.Pause = 100 * sim.Microsecond
+	o.MinProbeSamples = 20
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if err := o.Machine.Validate(); err != nil {
+		return err
+	}
+	if err := o.MPI.Validate(); err != nil {
+		return err
+	}
+	if err := o.Probe.Validate(); err != nil {
+		return err
+	}
+	if o.Window <= 0 {
+		return fmt.Errorf("core: non-positive measurement window %v", o.Window)
+	}
+	if o.WarmupIterations < 0 {
+		return fmt.Errorf("core: negative warmup iterations %d", o.WarmupIterations)
+	}
+	if o.MinIterations < 1 {
+		return fmt.Errorf("core: minimum iterations must be at least 1, have %d", o.MinIterations)
+	}
+	if o.MinProbeSamples < 2 {
+		return fmt.Errorf("core: minimum probe samples must be at least 2, have %d", o.MinProbeSamples)
+	}
+	if o.HistBins <= 0 || o.HistHiMicros <= o.HistLoMicros {
+		return fmt.Errorf("core: invalid histogram binning [%v, %v) x %d", o.HistLoMicros, o.HistHiMicros, o.HistBins)
+	}
+	if o.PhaseWindows < 0 {
+		return fmt.Errorf("core: negative phase window count %d", o.PhaseWindows)
+	}
+	return nil
+}
+
+// WithSeed returns a copy of the options with a different base seed.
+func (o Options) WithSeed(seed int64) Options {
+	o.Seed = seed
+	return o
+}
+
+// runSeed derives a per-run seed from the base seed and a run label.
+func (o Options) runSeed(label string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", o.Seed, label)
+	return int64(h.Sum64())
+}
+
+// newMachine builds a fresh kernel and machine for one measurement run.
+func (o Options) newMachine(label string) (*sim.Kernel, *cluster.Machine, error) {
+	if err := o.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k := sim.NewKernel(o.runSeed(label))
+	m, err := cluster.New(k, o.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, m, nil
+}
+
+// Signature is what ImpactB observes while a software component runs: the
+// paper's per-component description of switch usage.
+type Signature struct {
+	// Component is the measured component's name ("idle", an application
+	// name, or a CompressionB configuration label).
+	Component string
+	// Samples are the probe one-way latencies in seconds.
+	Samples []float64
+	// Mean and StdDev summarize the samples (seconds).
+	Mean   float64
+	StdDev float64
+	// Hist is the latency histogram in microseconds (the paper's Fig. 3
+	// representation).
+	Hist *stats.Histogram
+	// UtilizationPct is the switch-queue utilization inferred by the M/G/1
+	// model (0 when no calibration was available).
+	UtilizationPct float64
+	// Phases are time-resolved utilization measurements over equal
+	// sub-windows of the measurement window.  They capture applications whose
+	// network usage varies over time (e.g. AMG's dense phases), which the
+	// constant-utilization queue model cannot represent.  Empty when phase
+	// resolution is disabled or no calibration was available.
+	Phases []PhaseUtilization
+}
+
+// PhaseUtilization is the switch usage observed during one sub-window of a
+// component's measurement.
+type PhaseUtilization struct {
+	// Start and End delimit the sub-window in virtual time.
+	Start, End sim.Time
+	// Samples is the number of probe samples that fell into the window.
+	Samples int
+	// MeanLatency is the mean probe latency (seconds) within the window.
+	MeanLatency float64
+	// UtilizationPct is the M/G/1 utilization inferred from MeanLatency.
+	UtilizationPct float64
+}
+
+// MeanStdInterval returns the [µ−σ, µ+σ] interval used by the
+// AverageStDevLT model.
+func (s Signature) MeanStdInterval() stats.Interval {
+	return stats.MeanStdInterval(s.Mean, s.StdDev)
+}
+
+// Calibration holds the idle-switch measurements every queue-model
+// computation needs.
+type Calibration struct {
+	// Service is the switch's M/G/1 service model (µ, Var(S)).
+	Service queuing.ServiceModel
+	// Idle is the probe signature of the idle switch.
+	Idle Signature
+}
+
+// Runtime is an application's measured iteration rate.
+type Runtime struct {
+	// App is the application name.
+	App string
+	// Iterations is the number of timed iterations.
+	Iterations int
+	// TimePerIteration is the mean time per iteration.
+	TimePerIteration sim.Duration
+}
+
+// DegradationPercent returns the percentage slowdown of observed relative to
+// baseline: (T_obs - T_base) / T_base * 100, the paper's degradation metric.
+func DegradationPercent(baseline, observed Runtime) float64 {
+	if baseline.TimePerIteration <= 0 {
+		return 0
+	}
+	return (float64(observed.TimePerIteration) - float64(baseline.TimePerIteration)) /
+		float64(baseline.TimePerIteration) * 100
+}
+
+// ProfilePoint is one compression measurement of an application: the injector
+// configuration, the switch utilization it causes, its impact signature and
+// the application slowdown it inflicts.
+type ProfilePoint struct {
+	Injector       inject.Config
+	UtilizationPct float64
+	ImpactMean     float64
+	ImpactStd      float64
+	ImpactHist     *stats.Histogram
+	DegradationPct float64
+}
+
+// Profile is an application's compression profile: its baseline iteration
+// rate plus one point per injector configuration.  It realizes the mapping
+// p_A(utilization) → degradation of the paper's Section V-B.
+type Profile struct {
+	App      string
+	Baseline Runtime
+	Points   []ProfilePoint
+}
+
+// DegradationAt interpolates the profile's utilization→degradation mapping at
+// the given switch utilization percentage.
+func (p Profile) DegradationAt(utilizationPct float64) (float64, error) {
+	if len(p.Points) == 0 {
+		return 0, fmt.Errorf("core: profile for %s has no points", p.App)
+	}
+	xs := make([]float64, len(p.Points))
+	ys := make([]float64, len(p.Points))
+	for i, pt := range p.Points {
+		xs[i] = pt.UtilizationPct
+		ys[i] = pt.DegradationPct
+	}
+	ip, err := stats.NewInterpolator(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return ip.Eval(utilizationPct), nil
+}
+
+// --- measurement runs -------------------------------------------------------
+
+// signatureFrom converts a probe collector into a Signature.
+func (o Options) signatureFrom(component string, c *probe.Collector, cal *Calibration) (Signature, error) {
+	if c.Count() < o.MinProbeSamples {
+		return Signature{}, fmt.Errorf("core: only %d probe samples for %q (need %d); increase the window",
+			c.Count(), component, o.MinProbeSamples)
+	}
+	summary := c.Summary()
+	hist, err := c.Histogram(o.HistLoMicros, o.HistHiMicros, o.HistBins)
+	if err != nil {
+		return Signature{}, err
+	}
+	sig := Signature{
+		Component: component,
+		Samples:   c.Latencies(),
+		Mean:      summary.Mean,
+		StdDev:    summary.StdDev,
+		Hist:      hist,
+	}
+	if cal != nil {
+		util, err := queuing.UtilizationPercent(cal.Service, summary.Mean)
+		if err != nil {
+			return Signature{}, err
+		}
+		sig.UtilizationPct = util
+		phases, err := o.phaseUtilizations(c, *cal)
+		if err != nil {
+			return Signature{}, err
+		}
+		sig.Phases = phases
+	}
+	return sig, nil
+}
+
+// phaseUtilizations splits the measurement window into PhaseWindows equal
+// sub-windows and infers the switch utilization within each one from the
+// probe samples that fall into it.  Windows without samples are skipped.
+func (o Options) phaseUtilizations(c *probe.Collector, cal Calibration) ([]PhaseUtilization, error) {
+	if o.PhaseWindows < 1 {
+		return nil, nil
+	}
+	times := c.Times()
+	lats := c.Latencies()
+	width := sim.Duration(int64(o.Window) / int64(o.PhaseWindows))
+	if width <= 0 {
+		return nil, nil
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	accs := make([]acc, o.PhaseWindows)
+	for i, at := range times {
+		w := int(int64(at) / int64(width))
+		if w < 0 {
+			w = 0
+		}
+		if w >= o.PhaseWindows {
+			w = o.PhaseWindows - 1
+		}
+		accs[w].sum += lats[i]
+		accs[w].n++
+	}
+	var out []PhaseUtilization
+	for w, a := range accs {
+		if a.n == 0 {
+			continue
+		}
+		mean := a.sum / float64(a.n)
+		util, err := queuing.UtilizationPercent(cal.Service, mean)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PhaseUtilization{
+			Start:          sim.Time(int64(width) * int64(w)),
+			End:            sim.Time(int64(width) * int64(w+1)),
+			Samples:        a.n,
+			MeanLatency:    mean,
+			UtilizationPct: util,
+		})
+	}
+	return out, nil
+}
+
+// Calibrate measures the idle switch with ImpactB alone and derives the
+// M/G/1 service model (µ from the mean idle latency, Var(S) from its
+// variance), mirroring the paper's idle-switch calibration.
+func Calibrate(o Options) (Calibration, error) {
+	k, m, err := o.newMachine("calibrate")
+	if err != nil {
+		return Calibration{}, err
+	}
+	pr, err := probe.Launch(m, o.MPI, o.Probe)
+	if err != nil {
+		return Calibration{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	svc, err := queuing.CalibrateFromIdle(pr.Collector().Latencies())
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal := Calibration{Service: svc}
+	idle, err := o.signatureFrom("idle", pr.Collector(), &cal)
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal.Idle = idle
+	return cal, nil
+}
+
+// appRun is a launched, continuously-looping application instance.
+type appRun struct {
+	app      workload.App
+	class    string
+	job      *cluster.Job
+	world    *mpisim.World
+	iterEnds []sim.Time
+}
+
+// launchAppLoop allocates the application's cores and starts every rank in an
+// endless iteration loop; rank 0 records the completion time of each
+// iteration.
+func launchAppLoop(m *cluster.Machine, mpiCfg mpisim.Config, app workload.App, class string) (*appRun, error) {
+	rps, useNodes := app.Placement(m.Config().Nodes())
+	job, err := m.AllocateSpread(class, rps, useNodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating cores for %s: %w", class, err)
+	}
+	world, err := mpisim.NewWorld(m, job, mpiCfg)
+	if err != nil {
+		m.Release(job)
+		return nil, err
+	}
+	ar := &appRun{app: app, class: class, job: job, world: world}
+	world.Launch(func(r *mpisim.Rank) {
+		for iter := 0; ; iter++ {
+			app.Iterate(r, iter)
+			if r.Rank() == 0 {
+				ar.iterEnds = append(ar.iterEnds, r.Now())
+			}
+		}
+	})
+	return ar, nil
+}
+
+// runtime converts the recorded iteration end times into a Runtime.
+func (ar *appRun) runtime(o Options) (Runtime, error) {
+	warm := o.WarmupIterations
+	timed := len(ar.iterEnds) - 1 - warm
+	if timed < o.MinIterations {
+		return Runtime{}, fmt.Errorf(
+			"core: %s completed only %d iterations (need %d timed after %d warmup); increase the window",
+			ar.app.Name(), len(ar.iterEnds), o.MinIterations, warm)
+	}
+	span := ar.iterEnds[len(ar.iterEnds)-1].Sub(ar.iterEnds[warm])
+	return Runtime{
+		App:              ar.app.Name(),
+		Iterations:       timed,
+		TimePerIteration: span / sim.Duration(timed),
+	}, nil
+}
+
+// MeasureAppImpact runs ImpactB while the application runs and returns the
+// application's impact signature (the paper's Fig. 3 measurement).
+func MeasureAppImpact(o Options, cal Calibration, app workload.App) (Signature, error) {
+	k, m, err := o.newMachine("impact/" + app.Name())
+	if err != nil {
+		return Signature{}, err
+	}
+	pr, err := probe.Launch(m, o.MPI, o.Probe)
+	if err != nil {
+		return Signature{}, err
+	}
+	if _, err := launchAppLoop(m, o.MPI, app, app.Name()); err != nil {
+		return Signature{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	return o.signatureFrom(app.Name(), pr.Collector(), &cal)
+}
+
+// MeasureInjectorImpact runs ImpactB while a CompressionB configuration runs
+// and returns the configuration's impact signature (the measurement behind
+// the paper's Fig. 6).
+func MeasureInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signature, error) {
+	k, m, err := o.newMachine("impact/" + cfg.Label())
+	if err != nil {
+		return Signature{}, err
+	}
+	pr, err := probe.Launch(m, o.MPI, o.Probe)
+	if err != nil {
+		return Signature{}, err
+	}
+	if _, err := inject.Launch(m, o.MPI, cfg); err != nil {
+		return Signature{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	return o.signatureFrom(cfg.Label(), pr.Collector(), &cal)
+}
+
+// MeasureAppBaseline measures an application's iteration rate with the switch
+// to itself.
+func MeasureAppBaseline(o Options, app workload.App) (Runtime, error) {
+	k, m, err := o.newMachine("baseline/" + app.Name())
+	if err != nil {
+		return Runtime{}, err
+	}
+	ar, err := launchAppLoop(m, o.MPI, app, app.Name())
+	if err != nil {
+		return Runtime{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	return ar.runtime(o)
+}
+
+// MeasureAppUnderInjector measures an application's iteration rate while a
+// CompressionB configuration removes part of the switch capability (the
+// paper's compression experiment, Fig. 7).
+func MeasureAppUnderInjector(o Options, app workload.App, cfg inject.Config) (Runtime, error) {
+	k, m, err := o.newMachine("compress/" + app.Name() + "/" + cfg.Label())
+	if err != nil {
+		return Runtime{}, err
+	}
+	if _, err := inject.Launch(m, o.MPI, cfg); err != nil {
+		return Runtime{}, err
+	}
+	ar, err := launchAppLoop(m, o.MPI, app, app.Name())
+	if err != nil {
+		return Runtime{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	return ar.runtime(o)
+}
+
+// MeasureAppPair measures the iteration rates of two applications sharing the
+// switch (the ground truth of the paper's Table I).  Both run in continuous
+// loops for the whole window.
+func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
+	k, m, err := o.newMachine("pair/" + appA.Name() + "+" + appB.Name())
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	classA, classB := appA.Name(), appB.Name()
+	if classA == classB {
+		classB = classB + "#2"
+	}
+	runA, err := launchAppLoop(m, o.MPI, appA, classA)
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	runB, err := launchAppLoop(m, o.MPI, appB, classB)
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	k.RunUntil(sim.Time(o.Window))
+	k.Shutdown()
+	ra, err := runA.runtime(o)
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	rb, err := runB.runtime(o)
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	return ra, rb, nil
+}
+
+// BuildProfile measures an application's compression profile over the given
+// injector configurations.  Injector signatures (for utilization and the
+// look-up-table keys) are measured once per configuration; pass them in via
+// injSignatures when already available (keyed by Config.Label()), otherwise
+// they are measured here.
+func BuildProfile(o Options, cal Calibration, app workload.App, grid []inject.Config,
+	injSignatures map[string]Signature) (Profile, error) {
+	baseline, err := MeasureAppBaseline(o, app)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof := Profile{App: app.Name(), Baseline: baseline}
+	for _, cfg := range grid {
+		sig, ok := injSignatures[cfg.Label()]
+		if !ok {
+			sig, err = MeasureInjectorImpact(o, cal, cfg)
+			if err != nil {
+				return Profile{}, err
+			}
+		}
+		rt, err := MeasureAppUnderInjector(o, app, cfg)
+		if err != nil {
+			return Profile{}, err
+		}
+		prof.Points = append(prof.Points, ProfilePoint{
+			Injector:       cfg,
+			UtilizationPct: sig.UtilizationPct,
+			ImpactMean:     sig.Mean,
+			ImpactStd:      sig.StdDev,
+			ImpactHist:     sig.Hist,
+			DegradationPct: DegradationPercent(baseline, rt),
+		})
+	}
+	return prof, nil
+}

@@ -1,0 +1,483 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated cluster:
+//
+//	Fig. 3  — probe-packet latency distributions (idle switch + each app)
+//	Fig. 6  — switch utilization of the 40 CompressionB configurations
+//	Fig. 7  — application degradation vs. switch utilization curves
+//	Table I — measured slowdowns of all ordered application pairs
+//	Fig. 8  — per-pair prediction error of the four models
+//	Fig. 9  — per-model error quartile summary
+//
+// A Suite caches the shared measurement artifacts (calibration, impact
+// signatures, compression profiles, co-run measurements) so the figures can
+// be produced independently or together without repeating expensive runs.
+// Independent simulation runs execute in parallel across CPU cores.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/predict"
+	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// Preset selects the experiment scale.
+type Preset string
+
+const (
+	// PresetPaper runs the full 18-node, 40-configuration reproduction.
+	PresetPaper Preset = "paper"
+	// PresetDefault runs the 18-node machine with reduced problem sizes and
+	// a pruned configuration grid; it is the bench-harness default.
+	PresetDefault Preset = "default"
+	// PresetCI runs a small 6-node machine with strongly reduced problem
+	// sizes, for unit tests and continuous integration.
+	PresetCI Preset = "ci"
+)
+
+// Config describes one experiment campaign.
+type Config struct {
+	// Preset records which preset the configuration was derived from.
+	Preset Preset
+	// Options are the measurement options passed to the core methodology.
+	Options core.Options
+	// Grid is the CompressionB configuration grid used for Fig. 6 and the
+	// look-up tables.
+	Grid []inject.Config
+	// ProfileGrid is the (possibly pruned) grid used to build per-application
+	// compression profiles (Fig. 7); it must be a subset of Grid.
+	ProfileGrid []inject.Config
+	// Scale is the application problem scale.
+	Scale workload.Scale
+	// Parallelism bounds the number of concurrently executing simulation
+	// runs; 0 means use all CPUs.
+	Parallelism int
+}
+
+// NewConfig builds the configuration for a preset with the given base seed.
+func NewConfig(preset Preset, seed int64) (Config, error) {
+	switch preset {
+	case PresetPaper:
+		o := core.DefaultOptions()
+		o.Seed = seed
+		return Config{
+			Preset:      preset,
+			Options:     o,
+			Grid:        inject.Grid(),
+			ProfileGrid: inject.Grid(),
+			Scale:       workload.FullScale,
+		}, nil
+	case PresetDefault:
+		o := core.DefaultOptions()
+		o.Seed = seed
+		o.Scale = workload.Reduced(0.35)
+		o.Window = 65 * sim.Millisecond
+		o.Probe.Pause = 150 * sim.Microsecond
+		return Config{
+			Preset:      preset,
+			Options:     o,
+			Grid:        inject.Grid(),
+			ProfileGrid: pruneGrid(inject.Grid()),
+			Scale:       o.Scale,
+		}, nil
+	case PresetCI:
+		o := core.TestOptions()
+		o.Seed = seed
+		return Config{
+			Preset:      preset,
+			Options:     o,
+			Grid:        inject.ReducedGrid(),
+			ProfileGrid: inject.ReducedGrid(),
+			Scale:       o.Scale,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("experiments: unknown preset %q", preset)
+	}
+}
+
+// MustNewConfig is NewConfig that panics on an unknown preset.
+func MustNewConfig(preset Preset, seed int64) Config {
+	cfg, err := NewConfig(preset, seed)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// pruneGrid keeps a representative subset of the full CompressionB grid: all
+// partner counts at the extreme sleep settings plus the mid-range, single
+// message count except for the heaviest configurations.
+func pruneGrid(grid []inject.Config) []inject.Config {
+	var out []inject.Config
+	for _, c := range grid {
+		keep := false
+		switch c.SleepCycles {
+		case 2.5e4:
+			keep = c.Messages == 10 && (c.Partners == 1 || c.Partners == 7 || c.Partners == 17)
+		case 2.5e5:
+			keep = c.Messages == 1 && (c.Partners == 1 || c.Partners == 7 || c.Partners == 17)
+		case 2.5e6:
+			keep = c.Messages == 1 && (c.Partners == 4 || c.Partners == 14)
+		case 2.5e7:
+			keep = c.Messages == 1 && (c.Partners == 1 || c.Partners == 17)
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// parallelism resolves the configured worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// apps instantiates the application registry at the configured scale.
+func (c Config) apps() []workload.App { return workload.Registry(c.Scale) }
+
+// Suite runs experiments and caches their shared artifacts.
+type Suite struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cal       *core.Calibration
+	appSigs   map[string]core.Signature
+	injSigs   map[string]core.Signature
+	baselines map[string]core.Runtime
+	profiles  map[string]core.Profile
+	pairs     map[predict.Pairing]float64
+}
+
+// NewSuite creates an experiment suite for the configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:       cfg,
+		appSigs:   make(map[string]core.Signature),
+		injSigs:   make(map[string]core.Signature),
+		baselines: make(map[string]core.Runtime),
+		profiles:  make(map[string]core.Profile),
+		pairs:     make(map[predict.Pairing]float64),
+	}
+}
+
+// Config returns the suite's configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// runParallel executes n independent tasks on a bounded worker pool and
+// returns the first error encountered (all tasks still run to completion).
+func (s *Suite) runParallel(n int, task func(i int) error) error {
+	workers := s.cfg.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Calibration returns (measuring once) the idle-switch calibration.
+func (s *Suite) Calibration() (core.Calibration, error) {
+	s.mu.Lock()
+	cached := s.cal
+	s.mu.Unlock()
+	if cached != nil {
+		return *cached, nil
+	}
+	cal, err := core.Calibrate(s.cfg.Options)
+	if err != nil {
+		return core.Calibration{}, err
+	}
+	s.mu.Lock()
+	s.cal = &cal
+	s.mu.Unlock()
+	return cal, nil
+}
+
+// AppSignatures returns (measuring once, in parallel) the impact signature of
+// every application.
+func (s *Suite) AppSignatures() (map[string]core.Signature, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	apps := s.cfg.apps()
+	s.mu.Lock()
+	missing := make([]workload.App, 0, len(apps))
+	for _, a := range apps {
+		if _, ok := s.appSigs[a.Name()]; !ok {
+			missing = append(missing, a)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		sigs := make([]core.Signature, len(missing))
+		err := s.runParallel(len(missing), func(i int) error {
+			sig, err := core.MeasureAppImpact(s.cfg.Options, cal, missing[i])
+			if err != nil {
+				return err
+			}
+			sigs[i] = sig
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for i, a := range missing {
+			s.appSigs[a.Name()] = sigs[i]
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]core.Signature, len(s.appSigs))
+	for k, v := range s.appSigs {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// InjectorSignatures returns (measuring once, in parallel) the impact
+// signature — and therefore switch utilization — of every configuration in
+// the grid.
+func (s *Suite) InjectorSignatures(grid []inject.Config) (map[string]core.Signature, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	var missing []inject.Config
+	for _, cfg := range grid {
+		if _, ok := s.injSigs[cfg.Label()]; !ok {
+			missing = append(missing, cfg)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		sigs := make([]core.Signature, len(missing))
+		err := s.runParallel(len(missing), func(i int) error {
+			sig, err := core.MeasureInjectorImpact(s.cfg.Options, cal, missing[i])
+			if err != nil {
+				return err
+			}
+			sigs[i] = sig
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for i, cfg := range missing {
+			s.injSigs[cfg.Label()] = sigs[i]
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]core.Signature, len(grid))
+	for _, cfg := range grid {
+		out[cfg.Label()] = s.injSigs[cfg.Label()]
+	}
+	return out, nil
+}
+
+// Baselines returns (measuring once, in parallel) every application's
+// baseline iteration rate.
+func (s *Suite) Baselines() (map[string]core.Runtime, error) {
+	apps := s.cfg.apps()
+	s.mu.Lock()
+	missing := make([]workload.App, 0, len(apps))
+	for _, a := range apps {
+		if _, ok := s.baselines[a.Name()]; !ok {
+			missing = append(missing, a)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		rts := make([]core.Runtime, len(missing))
+		err := s.runParallel(len(missing), func(i int) error {
+			rt, err := core.MeasureAppBaseline(s.cfg.Options, missing[i])
+			if err != nil {
+				return err
+			}
+			rts[i] = rt
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for i, a := range missing {
+			s.baselines[a.Name()] = rts[i]
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]core.Runtime, len(s.baselines))
+	for k, v := range s.baselines {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Profiles returns (measuring once, in parallel) every application's
+// compression profile over the profile grid.
+func (s *Suite) Profiles() (map[string]core.Profile, error) {
+	injSigs, err := s.InjectorSignatures(s.cfg.ProfileGrid)
+	if err != nil {
+		return nil, err
+	}
+	baselines, err := s.Baselines()
+	if err != nil {
+		return nil, err
+	}
+	apps := s.cfg.apps()
+	s.mu.Lock()
+	allCached := true
+	for _, a := range apps {
+		if _, ok := s.profiles[a.Name()]; !ok {
+			allCached = false
+		}
+	}
+	s.mu.Unlock()
+	if !allCached {
+		type task struct {
+			app workload.App
+			cfg inject.Config
+		}
+		var tasks []task
+		for _, a := range apps {
+			for _, cfg := range s.cfg.ProfileGrid {
+				tasks = append(tasks, task{app: a, cfg: cfg})
+			}
+		}
+		degradations := make([]float64, len(tasks))
+		err := s.runParallel(len(tasks), func(i int) error {
+			rt, err := core.MeasureAppUnderInjector(s.cfg.Options, tasks[i].app, tasks[i].cfg)
+			if err != nil {
+				return err
+			}
+			degradations[i] = core.DegradationPercent(baselines[tasks[i].app.Name()], rt)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for _, a := range apps {
+			prof := core.Profile{App: a.Name(), Baseline: baselines[a.Name()]}
+			for i, tk := range tasks {
+				if tk.app.Name() != a.Name() {
+					continue
+				}
+				sig := injSigs[tk.cfg.Label()]
+				prof.Points = append(prof.Points, core.ProfilePoint{
+					Injector:       tk.cfg,
+					UtilizationPct: sig.UtilizationPct,
+					ImpactMean:     sig.Mean,
+					ImpactStd:      sig.StdDev,
+					ImpactHist:     sig.Hist,
+					DegradationPct: degradations[i],
+				})
+			}
+			s.profiles[a.Name()] = prof
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]core.Profile, len(s.profiles))
+	for k, v := range s.profiles {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// PairSlowdowns returns (measuring once, in parallel) the measured slowdown
+// of every ordered application pair relative to its baseline.
+func (s *Suite) PairSlowdowns() (map[predict.Pairing]float64, error) {
+	baselines, err := s.Baselines()
+	if err != nil {
+		return nil, err
+	}
+	apps := s.cfg.apps()
+	s.mu.Lock()
+	cached := len(s.pairs) == len(apps)*len(apps)
+	s.mu.Unlock()
+	if !cached {
+		type task struct{ a, b workload.App }
+		var tasks []task
+		for i, a := range apps {
+			for j, b := range apps {
+				if j < i {
+					continue // unordered co-run measured once, read both ways
+				}
+				tasks = append(tasks, task{a: a, b: b})
+			}
+		}
+		type result struct {
+			ra, rb core.Runtime
+		}
+		results := make([]result, len(tasks))
+		err := s.runParallel(len(tasks), func(i int) error {
+			ra, rb, err := core.MeasureAppPair(s.cfg.Options, tasks[i].a, tasks[i].b)
+			if err != nil {
+				return err
+			}
+			results[i] = result{ra: ra, rb: rb}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for i, tk := range tasks {
+			aName, bName := tk.a.Name(), tk.b.Name()
+			s.pairs[predict.Pairing{Target: aName, CoRunner: bName}] =
+				core.DegradationPercent(baselines[aName], results[i].ra)
+			s.pairs[predict.Pairing{Target: bName, CoRunner: aName}] =
+				core.DegradationPercent(baselines[bName], results[i].rb)
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[predict.Pairing]float64, len(s.pairs))
+	for k, v := range s.pairs {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+func TestNewConfigPresets(t *testing.T) {
+	paper := MustNewConfig(PresetPaper, 1)
+	if paper.Options.Machine.Nodes() != 18 {
+		t.Fatalf("paper nodes = %d", paper.Options.Machine.Nodes())
+	}
+	if len(paper.Grid) != 40 || len(paper.ProfileGrid) != 40 {
+		t.Fatalf("paper grid sizes = %d/%d", len(paper.Grid), len(paper.ProfileGrid))
+	}
+	if paper.Scale != workload.FullScale {
+		t.Fatalf("paper scale = %+v", paper.Scale)
+	}
+
+	def := MustNewConfig(PresetDefault, 1)
+	if def.Options.Machine.Nodes() != 18 {
+		t.Fatalf("default nodes = %d", def.Options.Machine.Nodes())
+	}
+	if len(def.Grid) != 40 {
+		t.Fatalf("default grid = %d", len(def.Grid))
+	}
+	if len(def.ProfileGrid) >= len(def.Grid) || len(def.ProfileGrid) < 6 {
+		t.Fatalf("default profile grid = %d", len(def.ProfileGrid))
+	}
+
+	ci := MustNewConfig(PresetCI, 1)
+	if ci.Options.Machine.Nodes() != 6 {
+		t.Fatalf("ci nodes = %d", ci.Options.Machine.Nodes())
+	}
+	if len(ci.Grid) == 0 || len(ci.Grid) >= 40 {
+		t.Fatalf("ci grid = %d", len(ci.Grid))
+	}
+
+	if _, err := NewConfig("bogus", 1); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewConfig should panic on unknown preset")
+		}
+	}()
+	MustNewConfig("bogus", 1)
+}
+
+func TestPruneGridIsSubset(t *testing.T) {
+	full := inject.Grid()
+	pruned := pruneGrid(full)
+	if len(pruned) == 0 || len(pruned) >= len(full) {
+		t.Fatalf("pruned grid size = %d", len(pruned))
+	}
+	inFull := map[string]bool{}
+	for _, c := range full {
+		inFull[c.Label()] = true
+	}
+	sleeps := map[float64]bool{}
+	for _, c := range pruned {
+		if !inFull[c.Label()] {
+			t.Fatalf("pruned config %s not in the full grid", c.Label())
+		}
+		sleeps[c.SleepCycles] = true
+	}
+	// The pruned grid must still span the full sleep range (it drives the
+	// utilization spread).
+	if !sleeps[2.5e4] || !sleeps[2.5e7] {
+		t.Fatalf("pruned grid misses extreme sleep values: %v", sleeps)
+	}
+}
+
+func TestConfigParallelism(t *testing.T) {
+	cfg := MustNewConfig(PresetCI, 1)
+	if cfg.parallelism() < 1 {
+		t.Fatal("parallelism must be at least 1")
+	}
+	cfg.Parallelism = 3
+	if cfg.parallelism() != 3 {
+		t.Fatalf("explicit parallelism not honored: %d", cfg.parallelism())
+	}
+}
+
+func TestRunParallelPropagatesErrors(t *testing.T) {
+	s := NewSuite(MustNewConfig(PresetCI, 1))
+	boom := errors.New("boom")
+	ran := make([]bool, 10)
+	err := s.runParallel(10, func(i int) error {
+		ran[i] = true
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+	if err := s.runParallel(0, func(int) error { return nil }); err != nil {
+		t.Fatalf("zero tasks should succeed: %v", err)
+	}
+}
+
+func TestExperimentNamesList(t *testing.T) {
+	if len(Names) != 6 {
+		t.Fatalf("names = %v", Names)
+	}
+}
+
+// TestSuiteFullPipeline runs the whole reproduction at CI scale and checks
+// the qualitative properties the paper reports.  It is the heaviest test in
+// the repository.
+func TestSuiteFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow; skipped in -short mode")
+	}
+	cfg := MustNewConfig(PresetCI, 7)
+	s := NewSuite(cfg)
+
+	// --- Fig. 3 -------------------------------------------------------------
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Columns) != 7 || f3.Columns[0] != IdleLabel {
+		t.Fatalf("fig3 columns = %v", f3.Columns)
+	}
+	for _, col := range f3.Columns {
+		sum := 0.0
+		for _, v := range f3.FrequencyPct[col] {
+			sum += v
+		}
+		if math.Abs(sum-100) > 0.5 {
+			t.Fatalf("fig3 column %s frequencies sum to %.2f", col, sum)
+		}
+	}
+	if f3.MeanMicros["FFTW"] <= f3.MeanMicros[IdleLabel] {
+		t.Fatalf("fig3: FFTW mean (%.2f) not above idle (%.2f)",
+			f3.MeanMicros["FFTW"], f3.MeanMicros[IdleLabel])
+	}
+
+	// --- Fig. 6 -------------------------------------------------------------
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Points) != len(cfg.Grid) {
+		t.Fatalf("fig6 points = %d, want %d", len(f6.Points), len(cfg.Grid))
+	}
+	lo, hi := f6.Range()
+	if hi-lo < 15 {
+		t.Fatalf("fig6 utilization range [%.1f, %.1f] too narrow", lo, hi)
+	}
+	// Shorter sleeps must on average utilize the switch more than the longest
+	// sleeps (the paper's main determinant of utilization).
+	var shortSum, shortN, longSum, longN float64
+	for _, p := range f6.Points {
+		switch p.Config.SleepCycles {
+		case 2.5e4:
+			shortSum += p.UtilizationPct
+			shortN++
+		case 2.5e7:
+			longSum += p.UtilizationPct
+			longN++
+		}
+	}
+	if shortN > 0 && longN > 0 && shortSum/shortN <= longSum/longN {
+		t.Fatalf("fig6: short sleeps (%.1f%%) not above long sleeps (%.1f%%)",
+			shortSum/shortN, longSum/longN)
+	}
+
+	// --- Fig. 7 -------------------------------------------------------------
+	f7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(app string) float64 {
+		m := 0.0
+		for _, p := range f7.Curves[app] {
+			if p.DegradationPct > m {
+				m = p.DegradationPct
+			}
+		}
+		return m
+	}
+	if len(f7.Curves) != 6 {
+		t.Fatalf("fig7 curves = %d", len(f7.Curves))
+	}
+	if maxDeg("FFTW") < 20 {
+		t.Fatalf("fig7: FFTW max degradation only %.1f%%", maxDeg("FFTW"))
+	}
+	if maxDeg("MCB") > maxDeg("FFTW")/2 {
+		t.Fatalf("fig7: MCB (%.1f%%) should degrade far less than FFTW (%.1f%%)",
+			maxDeg("MCB"), maxDeg("FFTW"))
+	}
+	if fit, ok := f7.Fits["FFTW"]; !ok || fit.Slope <= 0 {
+		t.Fatalf("fig7: FFTW linear fit missing or non-increasing: %+v", f7.Fits["FFTW"])
+	}
+
+	// --- Table I ------------------------------------------------------------
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Apps) != 6 || len(t1.SlowdownPct) != 6 || len(t1.SlowdownPct[0]) != 6 {
+		t.Fatalf("table1 shape wrong: %+v", t1.Apps)
+	}
+	idx := map[string]int{}
+	for i, a := range t1.Apps {
+		idx[a] = i
+	}
+	fftwSelf := t1.SlowdownPct[idx["FFTW"]][idx["FFTW"]]
+	mcbSelf := t1.SlowdownPct[idx["MCB"]][idx["MCB"]]
+	if fftwSelf <= mcbSelf {
+		t.Fatalf("table1: FFTW self co-run (%.1f%%) should exceed MCB self co-run (%.1f%%)",
+			fftwSelf, mcbSelf)
+	}
+
+	// --- Fig. 8 / Fig. 9 ----------------------------------------------------
+	f8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Study.Pairs) != 36 {
+		t.Fatalf("fig8 pairs = %d, want 36", len(f8.Study.Pairs))
+	}
+	f9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Models) != 4 {
+		t.Fatalf("fig9 models = %v", f9.Models)
+	}
+	for _, m := range f9.Models {
+		mae := f9.MeanAbsErr[m]
+		if math.IsNaN(mae) || mae < 0 {
+			t.Fatalf("fig9: invalid MAE for %s: %v", m, mae)
+		}
+		fw := f9.FractionWithin10[m]
+		if fw < 0 || fw > 1 {
+			t.Fatalf("fig9: invalid fraction for %s: %v", m, fw)
+		}
+		box := f9.Boxes[m]
+		if box.N != 36 || box.Min > box.Median || box.Median > box.Max {
+			t.Fatalf("fig9: bad box for %s: %+v", m, box)
+		}
+	}
+	if f9.BestModel == "" {
+		t.Fatal("fig9: no best model")
+	}
+	// The queue model should be a competitive predictor even at CI scale.
+	if f9.MeanAbsErr["Queue"] > 45 {
+		t.Fatalf("fig9: queue model MAE %.1f is unreasonably large", f9.MeanAbsErr["Queue"])
+	}
+
+	// Cached artifacts: a second call must not change the results.
+	f9b, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9b.MeanAbsErr["Queue"] != f9.MeanAbsErr["Queue"] {
+		t.Fatal("fig9 not reproducible from cached artifacts")
+	}
+}

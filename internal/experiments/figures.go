@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/predict"
+	"github.com/hpcperf/switchprobe/internal/stats"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// IdleLabel is the column name of the unloaded-switch distribution in Fig. 3.
+const IdleLabel = "No App"
+
+// Fig3Result is the data of the paper's Fig. 3: the distribution of probe
+// packet latencies on the idle switch and while each application runs.
+type Fig3Result struct {
+	// BinCentersMicros are the histogram bin centers in microseconds.
+	BinCentersMicros []float64
+	// Columns lists the distribution names in presentation order (IdleLabel
+	// first, then the applications).
+	Columns []string
+	// FrequencyPct maps a column to the percentage of probe packets per bin.
+	FrequencyPct map[string][]float64
+	// MeanMicros maps a column to its mean probe latency in microseconds.
+	MeanMicros map[string]float64
+}
+
+// Fig3 measures the probe latency distributions.
+func (s *Suite) Fig3() (Fig3Result, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	sigs, err := s.AppSignatures()
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	res := Fig3Result{
+		Columns:      append([]string{IdleLabel}, workload.Names()...),
+		FrequencyPct: make(map[string][]float64),
+		MeanMicros:   make(map[string]float64),
+	}
+	addColumn := func(name string, hist *stats.Histogram, meanSeconds float64) {
+		freqs := hist.Frequencies()
+		pct := make([]float64, len(freqs))
+		for i, f := range freqs {
+			pct[i] = 100 * f
+		}
+		res.FrequencyPct[name] = pct
+		res.MeanMicros[name] = meanSeconds * 1e6
+		if res.BinCentersMicros == nil {
+			centers := make([]float64, hist.Bins())
+			for i := range centers {
+				centers[i] = hist.BinCenter(i)
+			}
+			res.BinCentersMicros = centers
+		}
+	}
+	addColumn(IdleLabel, cal.Idle.Hist, cal.Idle.Mean)
+	for _, name := range workload.Names() {
+		sig, ok := sigs[name]
+		if !ok {
+			return Fig3Result{}, fmt.Errorf("experiments: missing signature for %s", name)
+		}
+		addColumn(name, sig.Hist, sig.Mean)
+	}
+	return res, nil
+}
+
+// Fig6Point is the measured utilization of one CompressionB configuration.
+type Fig6Point struct {
+	Config            inject.Config
+	UtilizationPct    float64
+	MeanLatencyMicros float64
+}
+
+// Fig6Result is the data of the paper's Fig. 6: switch queue utilization for
+// every CompressionB configuration.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Range returns the smallest and largest measured utilization.
+func (r Fig6Result) Range() (lo, hi float64) {
+	if len(r.Points) == 0 {
+		return 0, 0
+	}
+	lo, hi = r.Points[0].UtilizationPct, r.Points[0].UtilizationPct
+	for _, p := range r.Points {
+		if p.UtilizationPct < lo {
+			lo = p.UtilizationPct
+		}
+		if p.UtilizationPct > hi {
+			hi = p.UtilizationPct
+		}
+	}
+	return lo, hi
+}
+
+// Fig6 measures the switch utilization of every CompressionB configuration in
+// the suite's grid (ImpactB co-run with CompressionB, utilization from the
+// M/G/1 inversion).
+func (s *Suite) Fig6() (Fig6Result, error) {
+	sigs, err := s.InjectorSignatures(s.cfg.Grid)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	res := Fig6Result{}
+	for _, cfg := range s.cfg.Grid {
+		sig := sigs[cfg.Label()]
+		res.Points = append(res.Points, Fig6Point{
+			Config:            cfg,
+			UtilizationPct:    sig.UtilizationPct,
+			MeanLatencyMicros: sig.Mean * 1e6,
+		})
+	}
+	// Present in the paper's grouping: message count, then sleep, then
+	// partners.
+	sort.SliceStable(res.Points, func(i, j int) bool {
+		a, b := res.Points[i].Config, res.Points[j].Config
+		if a.Messages != b.Messages {
+			return a.Messages < b.Messages
+		}
+		if a.SleepCycles != b.SleepCycles {
+			return a.SleepCycles < b.SleepCycles
+		}
+		return a.Partners < b.Partners
+	})
+	return res, nil
+}
+
+// Fig7Point is one compression measurement of one application.
+type Fig7Point struct {
+	Config         inject.Config
+	UtilizationPct float64
+	DegradationPct float64
+}
+
+// Fig7Result is the data of the paper's Fig. 7: percentage performance
+// degradation versus switch utilization for every application, with the
+// linear fits the paper overlays.
+type Fig7Result struct {
+	Apps   []string
+	Curves map[string][]Fig7Point
+	Fits   map[string]stats.LinearFit
+}
+
+// Fig7 measures the degradation-vs-utilization curves.
+func (s *Suite) Fig7() (Fig7Result, error) {
+	profiles, err := s.Profiles()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	res := Fig7Result{
+		Apps:   workload.Names(),
+		Curves: make(map[string][]Fig7Point),
+		Fits:   make(map[string]stats.LinearFit),
+	}
+	for _, name := range res.Apps {
+		prof, ok := profiles[name]
+		if !ok {
+			return Fig7Result{}, fmt.Errorf("experiments: missing profile for %s", name)
+		}
+		var pts []Fig7Point
+		var xs, ys []float64
+		for _, p := range prof.Points {
+			pts = append(pts, Fig7Point{
+				Config:         p.Injector,
+				UtilizationPct: p.UtilizationPct,
+				DegradationPct: p.DegradationPct,
+			})
+			xs = append(xs, p.UtilizationPct)
+			ys = append(ys, p.DegradationPct)
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].UtilizationPct < pts[j].UtilizationPct })
+		res.Curves[name] = pts
+		if fit, err := stats.FitLinear(xs, ys); err == nil {
+			res.Fits[name] = fit
+		}
+	}
+	return res, nil
+}
+
+// Table1Result is the paper's Table I: the measured percentage slowdown of
+// every ordered application pair.
+type Table1Result struct {
+	// Apps lists the applications in row/column order.
+	Apps []string
+	// SlowdownPct[i][j] is the slowdown of Apps[i] when co-running with
+	// Apps[j].
+	SlowdownPct [][]float64
+}
+
+// Table1 measures the co-run slowdown matrix.
+func (s *Suite) Table1() (Table1Result, error) {
+	pairs, err := s.PairSlowdowns()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	apps := workload.Names()
+	res := Table1Result{Apps: apps, SlowdownPct: make([][]float64, len(apps))}
+	for i, target := range apps {
+		res.SlowdownPct[i] = make([]float64, len(apps))
+		for j, co := range apps {
+			v, ok := pairs[predict.Pairing{Target: target, CoRunner: co}]
+			if !ok {
+				return Table1Result{}, fmt.Errorf("experiments: missing pair %s+%s", target, co)
+			}
+			res.SlowdownPct[i][j] = v
+		}
+	}
+	return res, nil
+}
+
+// Fig8Result is the paper's Fig. 8: for every ordered pair and every model,
+// the measured slowdown, the predicted slowdown and their absolute
+// difference.
+type Fig8Result struct {
+	Study predict.Study
+}
+
+// Fig8 evaluates all four predictors on every ordered application pair.
+func (s *Suite) Fig8() (Fig8Result, error) {
+	profiles, err := s.Profiles()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	sigs, err := s.AppSignatures()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	pairs, err := s.PairSlowdowns()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	study, err := predict.NewStudy(model.All(), workload.Names(), profiles, sigs, pairs)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return Fig8Result{Study: study}, nil
+}
+
+// Fig9Result is the paper's Fig. 9: the quartile summary of each model's
+// prediction errors, plus the headline accuracy metrics quoted in the text.
+type Fig9Result struct {
+	Models           []string
+	Boxes            map[string]stats.BoxPlot
+	MeanAbsErr       map[string]float64
+	FractionWithin10 map[string]float64
+	BestModel        string
+}
+
+// Fig9 summarizes the prediction errors of Fig. 8.
+func (s *Suite) Fig9() (Fig9Result, error) {
+	f8, err := s.Fig8()
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	st := f8.Study
+	return Fig9Result{
+		Models:           st.Models,
+		Boxes:            st.SummaryByModel(),
+		MeanAbsErr:       st.MeanAbsErrorByModel(),
+		FractionWithin10: st.FractionWithin(10),
+		BestModel:        st.BestModel(),
+	}, nil
+}
+
+// Names of the experiments, in paper order; used by the CLI.
+var Names = []string{"fig3", "fig6", "fig7", "table1", "fig8", "fig9"}

@@ -1,0 +1,192 @@
+// Package inject implements CompressionB, the paper's traffic-injection
+// micro-benchmark (Fig. 5).  Its processes form one communication ring per
+// core index across the nodes of the switch; in each round every process
+// exchanges M messages of 40 KB with each of its P nearest ring partners,
+// then idles for B CPU cycles.  Different (P, M, B) settings remove different
+// fractions of the switch's capability from the software that shares it,
+// which is how the paper emulates "less capable" switches.
+package inject
+
+import (
+	"fmt"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/mpisim"
+)
+
+// JobName is the job/flow class name under which CompressionB traffic
+// appears.
+const JobName = "compress"
+
+// Config is one CompressionB input configuration.
+type Config struct {
+	// Partners is P, the number of ring partners each process exchanges
+	// messages with per round.
+	Partners int
+	// Messages is M, the number of messages sent to each partner per round.
+	Messages int
+	// SleepCycles is B, the number of CPU cycles the benchmark idles between
+	// the per-partner message batches.
+	SleepCycles float64
+	// MessageBytes is the message size (40 KB in the paper).
+	MessageBytes int
+	// RanksPerSocket is the number of injector processes per socket (1 in
+	// the paper, i.e. 2 per node).
+	RanksPerSocket int
+}
+
+// DefaultMessageBytes is the paper's CompressionB message size.
+const DefaultMessageBytes = 40 * 1024
+
+// NewConfig returns a CompressionB configuration with the paper's fixed
+// parameters (40 KB messages, one process per socket) and the given variable
+// parameters.
+func NewConfig(partners, messages int, sleepCycles float64) Config {
+	return Config{
+		Partners:       partners,
+		Messages:       messages,
+		SleepCycles:    sleepCycles,
+		MessageBytes:   DefaultMessageBytes,
+		RanksPerSocket: 1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Partners <= 0 {
+		return fmt.Errorf("inject: non-positive partner count %d", c.Partners)
+	}
+	if c.Messages <= 0 {
+		return fmt.Errorf("inject: non-positive message count %d", c.Messages)
+	}
+	if c.SleepCycles < 0 {
+		return fmt.Errorf("inject: negative sleep cycles %v", c.SleepCycles)
+	}
+	if c.MessageBytes <= 0 {
+		return fmt.Errorf("inject: non-positive message size %d", c.MessageBytes)
+	}
+	if c.RanksPerSocket <= 0 {
+		return fmt.Errorf("inject: non-positive ranks per socket %d", c.RanksPerSocket)
+	}
+	return nil
+}
+
+// Label is a short human-readable identifier, e.g. "P7-M10-B2.5e+06".
+func (c Config) Label() string {
+	return fmt.Sprintf("P%d-M%d-B%.1e", c.Partners, c.Messages, c.SleepCycles)
+}
+
+// Grid returns the 40 CompressionB configurations of the paper's Section
+// IV-C: P ∈ {1,4,7,14,17}, B ∈ {2.5e4, 2.5e5, 2.5e6, 2.5e7} cycles and
+// M ∈ {1, 10}.
+func Grid() []Config {
+	partners := []int{1, 4, 7, 14, 17}
+	sleeps := []float64{2.5e4, 2.5e5, 2.5e6, 2.5e7}
+	messages := []int{1, 10}
+	var out []Config
+	for _, m := range messages {
+		for _, b := range sleeps {
+			for _, p := range partners {
+				out = append(out, NewConfig(p, m, b))
+			}
+		}
+	}
+	return out
+}
+
+// ReducedGrid returns a coarser configuration grid (used by fast tests and by
+// the look-up-table ablation): every partner count with the extreme sleep
+// values and single messages, plus one heavy configuration.
+func ReducedGrid() []Config {
+	return []Config{
+		NewConfig(1, 1, 2.5e7),
+		NewConfig(4, 1, 2.5e6),
+		NewConfig(7, 1, 2.5e5),
+		NewConfig(14, 1, 2.5e5),
+		NewConfig(7, 10, 2.5e4),
+		NewConfig(17, 10, 2.5e4),
+	}
+}
+
+// Injector is a running CompressionB instance.
+type Injector struct {
+	cfg   Config
+	job   *cluster.Job
+	world *mpisim.World
+	// rounds counts completed injection rounds summed over all ranks.
+	rounds int64
+}
+
+// Job returns the injector's core allocation.
+func (in *Injector) Job() *cluster.Job { return in.job }
+
+// World returns the injector's message-passing world.
+func (in *Injector) World() *mpisim.World { return in.world }
+
+// Rounds returns the total number of completed injection rounds across all
+// ranks.
+func (in *Injector) Rounds() int64 { return in.rounds }
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Launch allocates CompressionB's cores (RanksPerSocket per socket on every
+// node), builds its world and starts the injection loops.  The loops run
+// until the caller ends the measurement window (Kernel.Shutdown).
+func Launch(m *cluster.Machine, mpiCfg mpisim.Config, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := m.Config().Nodes()
+	job, err := m.AllocateSpread(JobName, cfg.RanksPerSocket, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("inject: allocating cores: %w", err)
+	}
+	world, err := mpisim.NewWorld(m, job, mpiCfg)
+	if err != nil {
+		m.Release(job)
+		return nil, err
+	}
+	in := &Injector{cfg: cfg, job: job, world: world}
+	tasksPerNode := cfg.RanksPerSocket * m.Config().SocketsPerNode
+	world.Launch(func(r *mpisim.Rank) {
+		in.run(r, tasksPerNode)
+	})
+	return in, nil
+}
+
+// run is the per-rank CompressionB loop, a transcription of the paper's
+// pseudo-code: for every partner, exchange M messages with the partner-th
+// preceding/succeeding process in the ring, idle B cycles, and after all
+// partners wait for every outstanding transfer before starting the next
+// round.
+func (in *Injector) run(r *mpisim.Rank, tasksPerNode int) {
+	size := r.Size()
+	// The ring spans distinct nodes: partner offsets are multiples of the
+	// tasks-per-node stride.  Clamp P so each partner is a distinct process.
+	maxPartners := size/tasksPerNode - 1
+	partners := in.cfg.Partners
+	if partners > maxPartners {
+		partners = maxPartners
+	}
+	if partners < 1 {
+		partners = 1
+	}
+	for {
+		var reqs []*mpisim.Request
+		for partner := 0; partner < partners; partner++ {
+			for mesg := 0; mesg < in.cfg.Messages; mesg++ {
+				tag := partner*in.cfg.Messages + mesg
+				from := (r.Rank() + tasksPerNode*(partner+1)) % size
+				to := (r.Rank() - tasksPerNode*(partner+1) + size) % size
+				reqs = append(reqs, r.Irecv(from, tag))
+				reqs = append(reqs, r.Isend(to, tag, in.cfg.MessageBytes))
+			}
+			if in.cfg.SleepCycles > 0 {
+				r.ComputeCycles(in.cfg.SleepCycles)
+			}
+		}
+		r.WaitAll(reqs...)
+		in.rounds++
+	}
+}

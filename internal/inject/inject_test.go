@@ -1,0 +1,178 @@
+package inject
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/mpisim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+func newMachine(t testing.TB, seed int64, nodes int) *cluster.Machine {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = nodes
+	return cluster.MustNew(k, cfg)
+}
+
+func TestConfigValidateAndLabel(t *testing.T) {
+	c := NewConfig(7, 10, 2.5e6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MessageBytes != DefaultMessageBytes || c.RanksPerSocket != 1 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.Label() != "P7-M10-B2.5e+06" {
+		t.Fatalf("label = %q", c.Label())
+	}
+	bad := []Config{
+		{Partners: 0, Messages: 1, SleepCycles: 1, MessageBytes: 1, RanksPerSocket: 1},
+		{Partners: 1, Messages: 0, SleepCycles: 1, MessageBytes: 1, RanksPerSocket: 1},
+		{Partners: 1, Messages: 1, SleepCycles: -1, MessageBytes: 1, RanksPerSocket: 1},
+		{Partners: 1, Messages: 1, SleepCycles: 1, MessageBytes: 0, RanksPerSocket: 1},
+		{Partners: 1, Messages: 1, SleepCycles: 1, MessageBytes: 1, RanksPerSocket: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGridMatchesPaper(t *testing.T) {
+	grid := Grid()
+	if len(grid) != 40 {
+		t.Fatalf("grid size = %d, want 40", len(grid))
+	}
+	partners := map[int]bool{}
+	sleeps := map[float64]bool{}
+	messages := map[int]bool{}
+	labels := map[string]bool{}
+	for _, c := range grid {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid grid config %+v: %v", c, err)
+		}
+		partners[c.Partners] = true
+		sleeps[c.SleepCycles] = true
+		messages[c.Messages] = true
+		if labels[c.Label()] {
+			t.Fatalf("duplicate configuration %s", c.Label())
+		}
+		labels[c.Label()] = true
+		if c.MessageBytes != 40*1024 {
+			t.Fatalf("message size = %d, want 40KB", c.MessageBytes)
+		}
+	}
+	for _, p := range []int{1, 4, 7, 14, 17} {
+		if !partners[p] {
+			t.Fatalf("partner count %d missing", p)
+		}
+	}
+	for _, b := range []float64{2.5e4, 2.5e5, 2.5e6, 2.5e7} {
+		if !sleeps[b] {
+			t.Fatalf("sleep %v missing", b)
+		}
+	}
+	if !messages[1] || !messages[10] {
+		t.Fatal("message counts 1 and 10 must both appear")
+	}
+}
+
+func TestReducedGridValid(t *testing.T) {
+	rg := ReducedGrid()
+	if len(rg) == 0 {
+		t.Fatal("reduced grid empty")
+	}
+	for _, c := range rg {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rg) >= len(Grid()) {
+		t.Fatal("reduced grid should be smaller than the full grid")
+	}
+}
+
+func TestLaunchRejectsBadConfig(t *testing.T) {
+	m := newMachine(t, 1, 4)
+	if _, err := Launch(m, mpisim.DefaultConfig(), Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInjectorGeneratesTraffic(t *testing.T) {
+	m := newMachine(t, 2, 4)
+	in, err := Launch(m, mpisim.DefaultConfig(), NewConfig(1, 1, 2.5e5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Job().Size() != 8 {
+		t.Fatalf("injector ranks = %d, want 8", in.Job().Size())
+	}
+	m.Kernel().RunUntil(sim.Time(20 * sim.Millisecond))
+	m.Kernel().Shutdown()
+	if in.Rounds() == 0 {
+		t.Fatal("no rounds completed")
+	}
+	bytes := m.Network().Stats().BytesByClass[JobName]
+	if bytes == 0 {
+		t.Fatal("no injector traffic crossed the switch")
+	}
+	if in.Config().Partners != 1 {
+		t.Fatalf("config not preserved: %+v", in.Config())
+	}
+}
+
+func TestHeavierConfigInjectsMoreTraffic(t *testing.T) {
+	bytesFor := func(cfg Config) int64 {
+		m := newMachine(t, 3, 4)
+		_, err := Launch(m, mpisim.DefaultConfig(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Kernel().RunUntil(sim.Time(20 * sim.Millisecond))
+		m.Kernel().Shutdown()
+		return m.Network().Stats().BytesByClass[JobName]
+	}
+	light := bytesFor(NewConfig(1, 1, 2.5e7))
+	heavy := bytesFor(NewConfig(7, 10, 2.5e4))
+	if heavy < 4*light {
+		t.Fatalf("heavy config (%d B) should inject much more than light config (%d B)", heavy, light)
+	}
+}
+
+func TestSleepParameterThrottlesLoad(t *testing.T) {
+	utilFor := func(sleep float64) float64 {
+		m := newMachine(t, 4, 4)
+		_, err := Launch(m, mpisim.DefaultConfig(), NewConfig(4, 1, sleep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := 20 * sim.Millisecond
+		m.Kernel().RunUntil(sim.Time(window))
+		m.Kernel().Shutdown()
+		return m.Network().MeanLinkUtilization(window)
+	}
+	busy := utilFor(2.5e4)
+	idle := utilFor(2.5e7)
+	if busy <= idle {
+		t.Fatalf("shorter sleeps must load the switch more: busy=%.3f idle=%.3f", busy, idle)
+	}
+}
+
+func TestPartnerCountClampedOnSmallMachines(t *testing.T) {
+	// 17 partners cannot exist with 2 nodes (ring of 2 distinct nodes); the
+	// injector must still run without deadlocking or panicking.
+	m := newMachine(t, 5, 2)
+	in, err := Launch(m, mpisim.DefaultConfig(), NewConfig(17, 1, 2.5e5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Kernel().RunUntil(sim.Time(10 * sim.Millisecond))
+	m.Kernel().Shutdown()
+	if in.Rounds() == 0 {
+		t.Fatal("clamped injector made no progress")
+	}
+}

@@ -1,0 +1,214 @@
+// Package model implements the paper's four slowdown predictors (Section IV).
+//
+// Every predictor answers the same question: given the compression profile of
+// a target application A (how A slows down under each CompressionB
+// configuration) and the impact signature of a co-runner B (what ImpactB
+// observed while B ran alone), how much will A slow down when it shares the
+// switch with B?
+//
+//   - AverageLT matches B to the CompressionB configuration with the closest
+//     mean probe latency.
+//   - AverageStDevLT matches on the largest overlap of the [µ−σ, µ+σ]
+//     intervals.
+//   - PDFLT matches on the largest overlap integral of the full latency
+//     distributions.
+//   - Queue converts B's probe latency into an M/G/1 switch-queue
+//     utilization and evaluates A's utilization→degradation curve there.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+// Predictor predicts the percentage slowdown of a target application when it
+// shares the switch with a measured co-runner.
+type Predictor interface {
+	// Name identifies the predictor in tables and figures.
+	Name() string
+	// Predict returns the predicted degradation (percent) of the application
+	// described by target when co-running with the component whose impact
+	// signature is coRunner.
+	Predict(target core.Profile, coRunner core.Signature) (float64, error)
+}
+
+// All returns the four predictors in the paper's order.
+func All() []Predictor {
+	return []Predictor{AverageLT{}, AverageStDevLT{}, PDFLT{}, Queue{}}
+}
+
+// Extended returns the paper's four predictors plus the phase-aware queue
+// model, an extension of this library that relaxes the paper's
+// constant-utilization assumption.
+func Extended() []Predictor {
+	return append(All(), QueuePhase{})
+}
+
+// ByName returns the named predictor.
+func ByName(name string) (Predictor, error) {
+	for _, p := range Extended() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown predictor %q", name)
+}
+
+// errEmptyProfile is returned when a profile carries no compression points.
+var errEmptyProfile = errors.New("model: profile has no compression points")
+
+// AverageLT is the average-latency look-up table model: the co-runner is
+// matched to the CompressionB configuration whose mean probe latency is
+// closest.
+type AverageLT struct{}
+
+// Name implements Predictor.
+func (AverageLT) Name() string { return "AverageLT" }
+
+// Predict implements Predictor.
+func (AverageLT) Predict(target core.Profile, coRunner core.Signature) (float64, error) {
+	if len(target.Points) == 0 {
+		return 0, errEmptyProfile
+	}
+	best := -1
+	bestDist := math.Inf(1)
+	for i, pt := range target.Points {
+		d := math.Abs(pt.ImpactMean - coRunner.Mean)
+		if d < bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return target.Points[best].DegradationPct, nil
+}
+
+// AverageStDevLT is the average-and-standard-deviation look-up table model:
+// the co-runner is matched to the configuration whose [µ−σ, µ+σ] interval
+// overlaps the co-runner's interval the most; ties and empty overlaps fall
+// back to the closest mean.
+type AverageStDevLT struct{}
+
+// Name implements Predictor.
+func (AverageStDevLT) Name() string { return "AverageStDevLT" }
+
+// Predict implements Predictor.
+func (AverageStDevLT) Predict(target core.Profile, coRunner core.Signature) (float64, error) {
+	if len(target.Points) == 0 {
+		return 0, errEmptyProfile
+	}
+	coIv := coRunner.MeanStdInterval()
+	best := -1
+	bestOverlap := 0.0
+	for i, pt := range target.Points {
+		iv := stats.MeanStdInterval(pt.ImpactMean, pt.ImpactStd)
+		ov := coIv.Overlap(iv)
+		if ov > bestOverlap {
+			bestOverlap = ov
+			best = i
+		}
+	}
+	if best < 0 {
+		// No interval overlaps at all: degrade gracefully to the AverageLT
+		// choice, as the paper's description implies the closest configuration
+		// is still the best available proxy.
+		return AverageLT{}.Predict(target, coRunner)
+	}
+	return target.Points[best].DegradationPct, nil
+}
+
+// PDFLT is the probability-density look-up table model: the co-runner is
+// matched to the configuration maximizing the overlap integral
+// ∫ f_B(x) f_Ci(x) dx of the latency distributions.
+type PDFLT struct{}
+
+// Name implements Predictor.
+func (PDFLT) Name() string { return "PDFLT" }
+
+// Predict implements Predictor.
+func (PDFLT) Predict(target core.Profile, coRunner core.Signature) (float64, error) {
+	if len(target.Points) == 0 {
+		return 0, errEmptyProfile
+	}
+	if coRunner.Hist == nil {
+		return 0, errors.New("model: co-runner signature has no histogram")
+	}
+	best := -1
+	bestOverlap := 0.0
+	for i, pt := range target.Points {
+		if pt.ImpactHist == nil {
+			continue
+		}
+		ov, err := stats.OverlapProduct(coRunner.Hist, pt.ImpactHist)
+		if err != nil {
+			return 0, err
+		}
+		if ov > bestOverlap {
+			bestOverlap = ov
+			best = i
+		}
+	}
+	if best < 0 {
+		// Distributions are entirely disjoint (or histograms missing); fall
+		// back to the mean-based match.
+		return AverageLT{}.Predict(target, coRunner)
+	}
+	return target.Points[best].DegradationPct, nil
+}
+
+// Queue is the queueing-theory model: the co-runner's probe latency is
+// converted into an M/G/1 switch-queue utilization (done upstream when the
+// signature was measured) and the target's utilization→degradation curve is
+// evaluated at that utilization.
+type Queue struct{}
+
+// Name implements Predictor.
+func (Queue) Name() string { return "Queue" }
+
+// Predict implements Predictor.
+func (Queue) Predict(target core.Profile, coRunner core.Signature) (float64, error) {
+	if len(target.Points) == 0 {
+		return 0, errEmptyProfile
+	}
+	return target.DegradationAt(coRunner.UtilizationPct)
+}
+
+// QueuePhase is a phase-aware extension of the queue model.  The paper
+// attributes its only large error (predicting FFTW's slowdown next to AMG) to
+// the assumption that a co-runner utilizes the switch uniformly over time,
+// while AMG alternates between network-heavy and network-idle phases.
+// QueuePhase evaluates the target's utilization→degradation curve in every
+// sub-window of the co-runner's measurement and averages the results, so
+// windows in which the co-runner leaves the switch idle correctly contribute
+// little predicted slowdown.  With no phase data it reduces to Queue.
+type QueuePhase struct{}
+
+// Name implements Predictor.
+func (QueuePhase) Name() string { return "QueuePhase" }
+
+// Predict implements Predictor.
+func (QueuePhase) Predict(target core.Profile, coRunner core.Signature) (float64, error) {
+	if len(target.Points) == 0 {
+		return 0, errEmptyProfile
+	}
+	if len(coRunner.Phases) == 0 {
+		return Queue{}.Predict(target, coRunner)
+	}
+	totalSamples := 0
+	weighted := 0.0
+	for _, ph := range coRunner.Phases {
+		deg, err := target.DegradationAt(ph.UtilizationPct)
+		if err != nil {
+			return 0, err
+		}
+		weighted += deg * float64(ph.Samples)
+		totalSamples += ph.Samples
+	}
+	if totalSamples == 0 {
+		return Queue{}.Predict(target, coRunner)
+	}
+	return weighted / float64(totalSamples), nil
+}

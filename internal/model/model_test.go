@@ -1,0 +1,248 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+// syntheticPoint builds a profile point whose impact signature is a narrow
+// distribution around meanMicros.
+func syntheticPoint(meanMicros, stdMicros, utilPct, degradation float64) core.ProfilePoint {
+	h := stats.MustHistogram(0, 20, 40)
+	for i := -2; i <= 2; i++ {
+		h.Add(meanMicros + float64(i)*stdMicros/2)
+	}
+	return core.ProfilePoint{
+		Injector:       inject.NewConfig(1, 1, 2.5e6),
+		UtilizationPct: utilPct,
+		ImpactMean:     meanMicros * 1e-6,
+		ImpactStd:      stdMicros * 1e-6,
+		ImpactHist:     h,
+		DegradationPct: degradation,
+	}
+}
+
+// syntheticSignature builds a co-runner signature around meanMicros.
+func syntheticSignature(name string, meanMicros, stdMicros, utilPct float64) core.Signature {
+	h := stats.MustHistogram(0, 20, 40)
+	for i := -2; i <= 2; i++ {
+		h.Add(meanMicros + float64(i)*stdMicros/2)
+	}
+	return core.Signature{
+		Component:      name,
+		Mean:           meanMicros * 1e-6,
+		StdDev:         stdMicros * 1e-6,
+		Hist:           h,
+		UtilizationPct: utilPct,
+	}
+}
+
+// testProfile has three well separated compression points: light (30%),
+// medium (60%), heavy (90%).
+func testProfile() core.Profile {
+	return core.Profile{
+		App:      "Target",
+		Baseline: core.Runtime{App: "Target", Iterations: 10, TimePerIteration: 1000},
+		Points: []core.ProfilePoint{
+			syntheticPoint(1.5, 0.3, 30, 5),
+			syntheticPoint(4.0, 0.8, 60, 40),
+			syntheticPoint(8.0, 1.5, 90, 150),
+		},
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("expected 4 predictors, got %d", len(all))
+	}
+	want := []string{"AverageLT", "AverageStDevLT", "PDFLT", "Queue"}
+	for i, p := range all {
+		if p.Name() != want[i] {
+			t.Fatalf("predictor %d = %s, want %s", i, p.Name(), want[i])
+		}
+		got, err := ByName(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Fatalf("ByName(%s) failed: %v", p.Name(), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown predictor")
+	}
+}
+
+func TestEmptyProfileErrors(t *testing.T) {
+	sig := syntheticSignature("B", 4, 1, 50)
+	for _, p := range All() {
+		if _, err := p.Predict(core.Profile{App: "empty"}, sig); err == nil {
+			t.Errorf("%s: expected error for empty profile", p.Name())
+		}
+	}
+}
+
+func TestAverageLTPicksClosestMean(t *testing.T) {
+	prof := testProfile()
+	cases := []struct {
+		meanMicros float64
+		want       float64
+	}{
+		{1.4, 5},    // closest to the light configuration
+		{3.8, 40},   // closest to the medium configuration
+		{9.0, 150},  // closest to the heavy configuration
+		{0.1, 5},    // below everything: still the lightest
+		{20.0, 150}, // above everything: still the heaviest
+	}
+	for _, c := range cases {
+		sig := syntheticSignature("B", c.meanMicros, 0.2, 0)
+		got, err := AverageLT{}.Predict(prof, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("mean %.1fµs: predicted %v, want %v", c.meanMicros, got, c.want)
+		}
+	}
+}
+
+func TestAverageStDevLTUsesIntervalOverlap(t *testing.T) {
+	prof := testProfile()
+	// A wide co-runner distribution centred between light and medium whose
+	// interval overlaps the medium configuration more than the light one.
+	sig := syntheticSignature("B", 3.0, 1.5, 0)
+	got, err := AverageStDevLT{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("predicted %v, want 40 (medium configuration)", got)
+	}
+	// With no overlap at all it falls back to the closest mean.
+	far := syntheticSignature("B", 19, 0.01, 0)
+	got, err = AverageStDevLT{}.Predict(prof, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 150 {
+		t.Fatalf("fallback predicted %v, want 150", got)
+	}
+}
+
+func TestPDFLTUsesDistributionOverlap(t *testing.T) {
+	prof := testProfile()
+	sig := syntheticSignature("B", 4.1, 0.8, 0)
+	got, err := PDFLT{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("predicted %v, want 40", got)
+	}
+	// Signature without a histogram is an error.
+	noHist := core.Signature{Component: "B", Mean: 4e-6, StdDev: 1e-6}
+	if _, err := (PDFLT{}).Predict(prof, noHist); err == nil {
+		t.Fatal("expected error for missing histogram")
+	}
+	// Completely disjoint distribution falls back to closest mean.
+	disjoint := syntheticSignature("B", 19.5, 0.05, 0)
+	got, err = PDFLT{}.Predict(prof, disjoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 150 {
+		t.Fatalf("fallback predicted %v, want 150", got)
+	}
+}
+
+func TestPDFLTSkipsPointsWithoutHistograms(t *testing.T) {
+	prof := testProfile()
+	prof.Points[1].ImpactHist = nil
+	sig := syntheticSignature("B", 1.5, 0.3, 0)
+	got, err := PDFLT{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("predicted %v, want 5", got)
+	}
+}
+
+func TestQueueInterpolates(t *testing.T) {
+	prof := testProfile()
+	cases := []struct {
+		util float64
+		want float64
+	}{
+		{30, 5},
+		{60, 40},
+		{90, 150},
+		{45, 22.5}, // midway between 5 and 40
+		{75, 95},   // midway between 40 and 150
+		{10, 5},    // below the profile range: clamp
+		{100, 150}, // above the profile range: clamp
+	}
+	for _, c := range cases {
+		sig := syntheticSignature("B", 0, 0, c.util)
+		got, err := Queue{}.Predict(prof, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("util %.0f%%: predicted %v, want %v", c.util, got, c.want)
+		}
+	}
+}
+
+func TestQueueExactOnSelfConsistentData(t *testing.T) {
+	// When the co-runner behaves exactly like one of the CompressionB
+	// configurations, the queue model reproduces that configuration's
+	// measured degradation exactly — the self-consistency at the heart of the
+	// performance-relativity principle.
+	prof := testProfile()
+	for _, pt := range prof.Points {
+		sig := syntheticSignature("B", pt.ImpactMean*1e6, pt.ImpactStd*1e6, pt.UtilizationPct)
+		got, err := Queue{}.Predict(prof, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-pt.DegradationPct) > 1e-9 {
+			t.Fatalf("util %.0f%%: predicted %v, want %v", pt.UtilizationPct, got, pt.DegradationPct)
+		}
+	}
+}
+
+// Property: every look-up table prediction returns a degradation present in
+// the profile, and the queue model stays within the profile's degradation
+// range.
+func TestPredictionsBoundedProperty(t *testing.T) {
+	prof := testProfile()
+	inRange := func(v float64) bool { return v >= 5-1e-9 && v <= 150+1e-9 }
+	isPoint := func(v float64) bool { return v == 5 || v == 40 || v == 150 }
+	prop := func(meanTenthsMicro uint16, stdTenthsMicro uint8, util uint8) bool {
+		sig := syntheticSignature("B",
+			float64(meanTenthsMicro%200)/10,
+			float64(stdTenthsMicro%40)/10,
+			float64(util%101))
+		for _, p := range All() {
+			v, err := p.Predict(prof, sig)
+			if err != nil {
+				return false
+			}
+			if p.Name() == "Queue" {
+				if !inRange(v) {
+					return false
+				}
+			} else if !isPoint(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

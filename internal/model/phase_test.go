@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+)
+
+func TestExtendedIncludesQueuePhase(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 5 {
+		t.Fatalf("extended predictors = %d, want 5", len(ext))
+	}
+	if ext[len(ext)-1].Name() != "QueuePhase" {
+		t.Fatalf("last extended predictor = %s", ext[len(ext)-1].Name())
+	}
+	p, err := ByName("QueuePhase")
+	if err != nil || p.Name() != "QueuePhase" {
+		t.Fatalf("ByName(QueuePhase) failed: %v", err)
+	}
+	// The paper-faithful set stays at four.
+	if len(All()) != 4 {
+		t.Fatalf("All() = %d predictors, want 4", len(All()))
+	}
+}
+
+func TestQueuePhaseFallsBackWithoutPhases(t *testing.T) {
+	prof := testProfile()
+	sig := syntheticSignature("B", 4, 0.5, 60)
+	q, err := Queue{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := QueuePhase{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != qp {
+		t.Fatalf("QueuePhase without phases (%v) should equal Queue (%v)", qp, q)
+	}
+}
+
+func TestQueuePhaseAveragesOverPhases(t *testing.T) {
+	prof := testProfile() // 30% -> 5, 60% -> 40, 90% -> 150
+	sig := syntheticSignature("B", 4, 0.5, 60)
+	// Half of the run the co-runner is nearly idle (30% -> 5%), half it is
+	// heavy (90% -> 150%); the phase-aware prediction is the sample-weighted
+	// mean, far below the constant-utilization prediction at 60%+.
+	sig.Phases = []core.PhaseUtilization{
+		{Samples: 100, UtilizationPct: 30},
+		{Samples: 100, UtilizationPct: 90},
+	}
+	got, err := QueuePhase{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (5.0 + 150.0) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("phase-aware prediction = %v, want %v", got, want)
+	}
+}
+
+func TestQueuePhaseWeightsBySampleCount(t *testing.T) {
+	prof := testProfile()
+	sig := syntheticSignature("B", 4, 0.5, 60)
+	sig.Phases = []core.PhaseUtilization{
+		{Samples: 300, UtilizationPct: 30}, // 5% degradation, weight 3
+		{Samples: 100, UtilizationPct: 90}, // 150% degradation, weight 1
+	}
+	got, err := QueuePhase{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*5.0 + 150.0) / 4
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("weighted prediction = %v, want %v", got, want)
+	}
+}
+
+func TestQueuePhaseZeroSamplePhasesFallBack(t *testing.T) {
+	prof := testProfile()
+	sig := syntheticSignature("B", 4, 0.5, 60)
+	sig.Phases = []core.PhaseUtilization{{Samples: 0, UtilizationPct: 90}}
+	got, err := QueuePhase{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Queue{}.Predict(prof, sig)
+	if got != q {
+		t.Fatalf("zero-sample phases should fall back to Queue: got %v want %v", got, q)
+	}
+}
+
+func TestQueuePhaseEmptyProfile(t *testing.T) {
+	sig := syntheticSignature("B", 4, 0.5, 60)
+	if _, err := (QueuePhase{}).Predict(core.Profile{App: "empty"}, sig); err == nil {
+		t.Fatal("expected error for empty profile")
+	}
+}
+
+func TestQueuePhaseAddressesBurstyCoRunner(t *testing.T) {
+	// The motivating case: a co-runner whose average utilization looks high
+	// (because its bursts dominate the mean latency) but which is idle half
+	// the time.  The constant-utilization queue model over-predicts; the
+	// phase-aware model predicts less.
+	prof := testProfile()
+	sig := syntheticSignature("AMG-like", 6, 2, 75)
+	sig.Phases = []core.PhaseUtilization{
+		{Samples: 50, UtilizationPct: 10},
+		{Samples: 50, UtilizationPct: 85},
+	}
+	constant, err := Queue{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased, err := QueuePhase{}.Predict(prof, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phased >= constant {
+		t.Fatalf("phase-aware prediction (%v) should be below the constant-utilization one (%v)", phased, constant)
+	}
+}

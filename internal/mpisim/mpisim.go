@@ -1,0 +1,644 @@
+// Package mpisim is a message-passing runtime (an MPI work-alike) running on
+// the simulated cluster.  It provides the primitives the paper's benchmarks
+// and applications are written against: non-blocking point-to-point sends and
+// receives with eager and rendezvous protocols, waits, and the common
+// collectives (barrier, broadcast, reduce, allreduce, allgather, alltoall).
+//
+// Each rank executes as a cooperative simulation process; inter-node messages
+// travel through the netsim switch (and therefore contend with every other
+// job on the machine), while intra-node messages use a shared-memory path
+// that bypasses the switch.
+package mpisim
+
+import (
+	"fmt"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// AnySource matches a receive against any sender rank.
+const AnySource = -1
+
+// AnyTag matches a receive against any message tag.
+const AnyTag = -2
+
+// Config tunes the runtime's transfer protocols.
+type Config struct {
+	// EagerThreshold is the largest message size (bytes) sent eagerly;
+	// larger messages use a rendezvous handshake.
+	EagerThreshold int
+	// ControlBytes is the wire size of RTS/CTS control messages.
+	ControlBytes int
+}
+
+// DefaultConfig returns the production defaults (16 KiB eager threshold,
+// 64-byte control messages).
+func DefaultConfig() Config {
+	return Config{EagerThreshold: 16 * 1024, ControlBytes: 64}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.EagerThreshold < 0 {
+		return fmt.Errorf("mpisim: negative eager threshold %d", c.EagerThreshold)
+	}
+	if c.ControlBytes <= 0 {
+		return fmt.Errorf("mpisim: non-positive control message size %d", c.ControlBytes)
+	}
+	return nil
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int
+}
+
+// Request is the handle of a non-blocking operation.
+type Request struct {
+	done    bool
+	status  Status
+	waiter  *sim.Proc
+	counter *waitCounter
+}
+
+// waitCounter lets WaitAll park its process until a whole batch of requests
+// has completed, waking it exactly once instead of once per request.
+type waitCounter struct {
+	remaining int
+	proc      *sim.Proc
+}
+
+// Done reports whether the operation completed.
+func (r *Request) Done() bool { return r.done }
+
+// Status returns the receive status; meaningful only after completion of a
+// receive request.
+func (r *Request) Status() Status { return r.status }
+
+func (r *Request) complete(st Status) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.status = st
+	if r.waiter != nil {
+		r.waiter.Wake()
+	}
+	if r.counter != nil {
+		r.counter.remaining--
+		if r.counter.remaining == 0 && r.counter.proc != nil {
+			r.counter.proc.Wake()
+		}
+		r.counter = nil
+	}
+}
+
+// message kinds exchanged between ranks.
+type msgKind int
+
+const (
+	kindEager msgKind = iota
+	kindRTS
+	kindCTS
+)
+
+// envelope carries the metadata of a point-to-point message.
+type envelope struct {
+	src, dst int // ranks
+	tag      int
+	size     int // application payload size
+	kind     msgKind
+	seq      int64 // sender-side id pairing RTS/CTS/data
+}
+
+// rendezvousState links the two requests of an in-flight rendezvous
+// transfer.
+type rendezvousState struct {
+	env     envelope
+	sendReq *Request
+	recvReq *Request
+}
+
+// World is one message-passing job: a set of ranks placed on the machine.
+type World struct {
+	m    *cluster.Machine
+	job  *cluster.Job
+	cfg  Config
+	name string
+
+	nodeOf []int
+	ranks  []*Rank
+
+	seq        int64
+	rendezvous map[int64]*rendezvousState
+
+	launched    bool
+	finished    int
+	completedAt sim.Time
+
+	// Statistics.
+	messagesSent int64
+	bytesSent    int64
+	collectives  int64
+}
+
+// NewWorld creates a message-passing world for job on machine m.
+func NewWorld(m *cluster.Machine, job *cluster.Job, cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if job == nil || job.Size() == 0 {
+		return nil, fmt.Errorf("mpisim: job is empty")
+	}
+	w := &World{
+		m:          m,
+		job:        job,
+		cfg:        cfg,
+		name:       job.Name,
+		nodeOf:     job.NodeOf(),
+		rendezvous: make(map[int64]*rendezvousState),
+	}
+	for i := 0; i < job.Size(); i++ {
+		w.ranks = append(w.ranks, &Rank{w: w, rank: i})
+	}
+	return w, nil
+}
+
+// MustNewWorld is NewWorld that panics on error.
+func MustNewWorld(m *cluster.Machine, job *cluster.Job, cfg Config) *World {
+	w, err := NewWorld(m, job, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Name returns the job name (used as the traffic class on the network).
+func (w *World) Name() string { return w.name }
+
+// Job returns the placement the world was built from.
+func (w *World) Job() *cluster.Job { return w.job }
+
+// Launch spawns one simulation process per rank, each executing body.  It may
+// be called only once.
+func (w *World) Launch(body func(r *Rank)) {
+	if w.launched {
+		panic("mpisim: World.Launch called twice")
+	}
+	w.launched = true
+	for _, r := range w.ranks {
+		r := r
+		w.m.Kernel().Spawn(fmt.Sprintf("%s/rank%d", w.name, r.rank), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+			w.finished++
+			if w.finished == len(w.ranks) {
+				w.completedAt = p.Now()
+			}
+		})
+	}
+}
+
+// Done reports whether every rank's body returned.
+func (w *World) Done() bool { return w.launched && w.finished == len(w.ranks) }
+
+// CompletionTime returns the virtual time at which the last rank finished.
+func (w *World) CompletionTime() (sim.Time, bool) {
+	if !w.Done() {
+		return 0, false
+	}
+	return w.completedAt, true
+}
+
+// Stats summarizes the world's communication activity.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Collectives  int64
+}
+
+// Stats returns a snapshot of the world's counters.
+func (w *World) Stats() Stats {
+	return Stats{MessagesSent: w.messagesSent, BytesSent: w.bytesSent, Collectives: w.collectives}
+}
+
+// Rank is the per-process handle used by application code.
+type Rank struct {
+	w    *World
+	rank int
+	proc *sim.Proc
+
+	unexpected []envelope
+	posted     []*postedRecv
+
+	collSeq int64
+}
+
+// postedRecv is a receive posted before its message arrived.
+type postedRecv struct {
+	src, tag int
+	req      *Request
+}
+
+// Rank returns the rank index within the world.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Node returns the node the rank is placed on.
+func (r *Rank) Node() int { return r.w.nodeOf[r.rank] }
+
+// World returns the world the rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Proc returns the underlying simulation process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Compute occupies the rank's core for d of virtual time.
+func (r *Rank) Compute(d sim.Duration) { r.proc.Sleep(d) }
+
+// ComputeCycles occupies the rank's core for the given number of CPU cycles.
+func (r *Rank) ComputeCycles(cycles float64) {
+	r.proc.Sleep(r.w.m.CyclesToDuration(cycles))
+}
+
+// Sleep idles the rank for d of virtual time (identical to Compute in the
+// model; the distinct name mirrors usleep calls in the paper's benchmarks).
+func (r *Rank) Sleep(d sim.Duration) { r.proc.Sleep(d) }
+
+// checkRank validates a peer rank index.
+func (r *Rank) checkRank(peer int) {
+	if peer < 0 || peer >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpisim: rank %d out of range [0,%d)", peer, len(r.w.ranks)))
+	}
+}
+
+// Isend starts a non-blocking send of size bytes to rank dst with the given
+// tag and returns its request.
+func (r *Rank) Isend(dst, tag, size int) *Request {
+	r.checkRank(dst)
+	if size <= 0 {
+		panic(fmt.Sprintf("mpisim: non-positive message size %d", size))
+	}
+	w := r.w
+	w.messagesSent++
+	w.bytesSent += int64(size)
+	w.seq++
+	env := envelope{src: r.rank, dst: dst, tag: tag, size: size, seq: w.seq}
+	req := &Request{}
+
+	srcNode, dstNode := w.nodeOf[r.rank], w.nodeOf[dst]
+	if srcNode == dstNode {
+		// Shared-memory path: the sender buffers the message immediately and
+		// the payload appears at the receiver after the copy latency.
+		env.kind = kindEager
+		delay := w.intraNodeDelay(size)
+		w.m.Kernel().After(delay, func() { w.arrive(env) })
+		req.complete(Status{Source: r.rank, Tag: tag, Size: size})
+		return req
+	}
+
+	flow := netsim.Flow{Class: w.name, ID: r.rank}
+	if size <= w.cfg.EagerThreshold {
+		env.kind = kindEager
+		envCopy := env
+		if err := w.m.Network().SendMessage(srcNode, dstNode, size, flow, func(sim.Time) {
+			w.arrive(envCopy)
+		}); err != nil {
+			panic(fmt.Sprintf("mpisim: eager send failed: %v", err))
+		}
+		// Eager sends complete locally as soon as the payload is buffered.
+		req.complete(Status{Source: r.rank, Tag: tag, Size: size})
+		return req
+	}
+
+	// Rendezvous: request-to-send first, payload only after clear-to-send.
+	env.kind = kindRTS
+	w.rendezvous[env.seq] = &rendezvousState{env: env, sendReq: req}
+	envCopy := env
+	if err := w.m.Network().SendMessage(srcNode, dstNode, w.cfg.ControlBytes, flow, func(sim.Time) {
+		w.arrive(envCopy)
+	}); err != nil {
+		panic(fmt.Sprintf("mpisim: RTS send failed: %v", err))
+	}
+	return req
+}
+
+// Irecv posts a non-blocking receive matching messages from src (or
+// AnySource) with the given tag (or AnyTag) and returns its request.
+func (r *Rank) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		r.checkRank(src)
+	}
+	req := &Request{}
+	// Try to match an already-arrived message first.
+	for i, env := range r.unexpected {
+		if matches(src, tag, env) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.acceptMatched(env, req)
+			return req
+		}
+	}
+	r.posted = append(r.posted, &postedRecv{src: src, tag: tag, req: req})
+	return req
+}
+
+// matches reports whether a posted (src, tag) pair matches an envelope.
+func matches(src, tag int, env envelope) bool {
+	if src != AnySource && src != env.src {
+		return false
+	}
+	if tag != AnyTag && tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// acceptMatched processes a matched envelope for the given receive request.
+func (r *Rank) acceptMatched(env envelope, req *Request) {
+	w := r.w
+	switch env.kind {
+	case kindEager:
+		req.complete(Status{Source: env.src, Tag: env.tag, Size: env.size})
+	case kindRTS:
+		// Answer with clear-to-send; the payload is transferred when the CTS
+		// reaches the sender.
+		st := w.rendezvous[env.seq]
+		if st == nil {
+			st = &rendezvousState{env: env}
+			w.rendezvous[env.seq] = st
+		}
+		st.recvReq = req
+		cts := envelope{src: env.dst, dst: env.src, tag: env.tag, size: env.size, kind: kindCTS, seq: env.seq}
+		srcNode, dstNode := w.nodeOf[cts.src], w.nodeOf[cts.dst]
+		flow := netsim.Flow{Class: w.name, ID: cts.src}
+		if srcNode == dstNode {
+			w.m.Kernel().After(w.intraNodeDelay(w.cfg.ControlBytes), func() { w.arrive(cts) })
+			return
+		}
+		if err := w.m.Network().SendMessage(srcNode, dstNode, w.cfg.ControlBytes, flow, func(sim.Time) {
+			w.arrive(cts)
+		}); err != nil {
+			panic(fmt.Sprintf("mpisim: CTS send failed: %v", err))
+		}
+	default:
+		panic("mpisim: unexpected envelope kind in acceptMatched")
+	}
+}
+
+// arrive delivers an envelope at its destination rank (kernel event context).
+func (w *World) arrive(env envelope) {
+	switch env.kind {
+	case kindEager, kindRTS:
+		dst := w.ranks[env.dst]
+		for i, pr := range dst.posted {
+			if matches(pr.src, pr.tag, env) {
+				dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
+				dst.acceptMatched(env, pr.req)
+				return
+			}
+		}
+		dst.unexpected = append(dst.unexpected, env)
+	case kindCTS:
+		// The CTS arrives back at the original sender: stream the payload.
+		st := w.rendezvous[env.seq]
+		if st == nil {
+			panic("mpisim: CTS for unknown rendezvous transfer")
+		}
+		data := st.env
+		srcNode, dstNode := w.nodeOf[data.src], w.nodeOf[data.dst]
+		flow := netsim.Flow{Class: w.name, ID: data.src}
+		complete := func(sim.Time) {
+			delete(w.rendezvous, env.seq)
+			if st.sendReq != nil {
+				st.sendReq.complete(Status{Source: data.src, Tag: data.tag, Size: data.size})
+			}
+			if st.recvReq != nil {
+				st.recvReq.complete(Status{Source: data.src, Tag: data.tag, Size: data.size})
+			}
+		}
+		if srcNode == dstNode {
+			w.m.Kernel().After(w.intraNodeDelay(data.size), func() { complete(w.m.Kernel().Now()) })
+			return
+		}
+		if err := w.m.Network().SendMessage(srcNode, dstNode, data.size, flow, complete); err != nil {
+			panic(fmt.Sprintf("mpisim: rendezvous data send failed: %v", err))
+		}
+	}
+}
+
+// intraNodeDelay models a shared-memory transfer of size bytes.
+func (w *World) intraNodeDelay(size int) sim.Duration {
+	cfg := w.m.Config()
+	return cfg.IntraNodeLatency + sim.Duration(float64(size)/cfg.IntraNodeBandwidth*float64(sim.Second))
+}
+
+// Wait blocks until the request completes and returns its status.
+func (r *Rank) Wait(req *Request) Status {
+	req.waiter = r.proc
+	r.proc.WaitUntil(func() bool { return req.done })
+	req.waiter = nil
+	return req.status
+}
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	counter := &waitCounter{proc: r.proc}
+	for _, req := range reqs {
+		if !req.done {
+			counter.remaining++
+			req.counter = counter
+		}
+	}
+	if counter.remaining == 0 {
+		return
+	}
+	r.proc.WaitUntil(func() bool { return counter.remaining == 0 })
+}
+
+// Send is a blocking send (Isend + Wait).
+func (r *Rank) Send(dst, tag, size int) { r.Wait(r.Isend(dst, tag, size)) }
+
+// Recv is a blocking receive (Irecv + Wait).
+func (r *Rank) Recv(src, tag int) Status { return r.Wait(r.Irecv(src, tag)) }
+
+// SendRecv exchanges messages with two peers: it sends size bytes to dst and
+// receives from src, overlapping both transfers.
+func (r *Rank) SendRecv(dst, sendTag, size, src, recvTag int) Status {
+	sreq := r.Isend(dst, sendTag, size)
+	rreq := r.Irecv(src, recvTag)
+	r.WaitAll(sreq, rreq)
+	return rreq.status
+}
+
+// --- Collectives -----------------------------------------------------------
+
+// Tag space reserved for collective operations; application tags should stay
+// below collTagBase.
+const (
+	collTagBase   = 1 << 24
+	collTagStride = 1 << 12
+)
+
+// collTag derives the tag for step of the current collective invocation.
+func (r *Rank) collTag(step int) int {
+	return collTagBase + int(r.collSeq)*collTagStride + step
+}
+
+// beginCollective advances the collective sequence number (identical on every
+// rank because collectives are called in the same order by all ranks).
+func (r *Rank) beginCollective() {
+	r.collSeq++
+	r.w.collectives++
+}
+
+// Barrier synchronizes all ranks using the dissemination algorithm.
+func (r *Rank) Barrier() {
+	r.beginCollective()
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	const token = 8
+	step := 0
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (r.rank + dist) % n
+		src := (r.rank - dist + n) % n
+		sreq := r.Isend(dst, r.collTag(step), token)
+		rreq := r.Irecv(src, r.collTag(step))
+		r.WaitAll(sreq, rreq)
+		step++
+	}
+}
+
+// Bcast broadcasts size bytes from root to every rank along a binomial tree.
+func (r *Rank) Bcast(root, size int) {
+	r.beginCollective()
+	r.bcastNoSeq(root, size)
+}
+
+func (r *Rank) bcastNoSeq(root, size int) {
+	n := r.Size()
+	if n == 1 || size <= 0 {
+		return
+	}
+	rel := (r.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			r.Recv(src, r.collTag(mask))
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			r.Send(dst, r.collTag(mask), size)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines size bytes from every rank onto root along a binomial tree.
+func (r *Rank) Reduce(root, size int) {
+	r.beginCollective()
+	r.reduceNoSeq(root, size)
+}
+
+func (r *Rank) reduceNoSeq(root, size int) {
+	n := r.Size()
+	if n == 1 || size <= 0 {
+		return
+	}
+	rel := (r.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < n {
+				r.Recv((src+root)%n, r.collTag(mask))
+			}
+		} else {
+			dst := ((rel & ^mask) + root) % n
+			r.Send(dst, r.collTag(mask), size)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines size bytes across all ranks and distributes the result
+// (implemented as a reduce to rank 0 followed by a broadcast).
+func (r *Rank) Allreduce(size int) {
+	r.beginCollective()
+	r.reduceNoSeq(0, size)
+	r.collSeq++
+	r.bcastNoSeq(0, size)
+}
+
+// Allgather gathers sizePerRank bytes from every rank on every rank using the
+// ring algorithm (n-1 steps).
+func (r *Rank) Allgather(sizePerRank int) {
+	r.beginCollective()
+	n := r.Size()
+	if n == 1 || sizePerRank <= 0 {
+		return
+	}
+	right := (r.rank + 1) % n
+	left := (r.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sreq := r.Isend(right, r.collTag(step), sizePerRank)
+		rreq := r.Irecv(left, r.collTag(step))
+		r.WaitAll(sreq, rreq)
+	}
+}
+
+// Alltoall exchanges sizePerRank bytes between every pair of ranks using the
+// windowed linear-shift pairwise algorithm with the default window of two
+// outstanding exchanges, the behaviour of common MPI implementations for all
+// but the shortest messages.  The limited window makes the collective
+// sensitive to switch latency, which is the behaviour the paper observes for
+// the FFT-based applications.
+func (r *Rank) Alltoall(sizePerRank int) { r.AlltoallWindowed(sizePerRank, 2) }
+
+// AlltoallWindowed is Alltoall with an explicit bound on the number of
+// outstanding pairwise exchanges: window 1 is the fully step-synchronous
+// pairwise algorithm (most latency sensitive), window n-1 posts every
+// exchange at once (purely bandwidth limited).
+func (r *Rank) AlltoallWindowed(sizePerRank, window int) {
+	r.beginCollective()
+	n := r.Size()
+	if n == 1 || sizePerRank <= 0 {
+		return
+	}
+	if window < 1 {
+		window = 1
+	}
+	var inFlight []*Request
+	for step := 1; step < n; step++ {
+		dst := (r.rank + step) % n
+		src := (r.rank - step + n) % n
+		inFlight = append(inFlight, r.Irecv(src, r.collTag(step)), r.Isend(dst, r.collTag(step), sizePerRank))
+		if len(inFlight) >= 2*window {
+			r.WaitAll(inFlight...)
+			inFlight = inFlight[:0]
+		}
+	}
+	if len(inFlight) > 0 {
+		r.WaitAll(inFlight...)
+	}
+}

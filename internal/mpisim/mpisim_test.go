@@ -1,0 +1,569 @@
+package mpisim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// testWorld builds a machine with the given node count and a job with
+// ranksPerSocket ranks per socket across all nodes.
+func testWorld(t testing.TB, seed int64, nodes, ranksPerSocket int) (*cluster.Machine, *World) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = nodes
+	m := cluster.MustNew(k, cfg)
+	job, err := m.AllocateSpread("test", ranksPerSocket, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(m, job, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{EagerThreshold: -1, ControlBytes: 64}).Validate(); err == nil {
+		t.Fatal("expected error for negative eager threshold")
+	}
+	if err := (Config{EagerThreshold: 0, ControlBytes: 0}).Validate(); err == nil {
+		t.Fatal("expected error for zero control bytes")
+	}
+}
+
+func TestNewWorldErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 2
+	m := cluster.MustNew(k, cfg)
+	if _, err := NewWorld(m, nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for nil job")
+	}
+	job, _ := m.AllocateSpread("x", 1, 2)
+	if _, err := NewWorld(m, job, Config{EagerThreshold: -1, ControlBytes: 1}); err == nil {
+		t.Fatal("expected error for bad config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewWorld should panic")
+		}
+	}()
+	MustNewWorld(m, nil, DefaultConfig())
+}
+
+func TestPingPongInterNode(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1) // 2 nodes, 2 ranks/node = 4 ranks
+	var rtt sim.Duration
+	w.Launch(func(r *Rank) {
+		const tag = 1
+		switch r.Rank() {
+		case 0:
+			// Rank 0 is on node 0, rank 2 on node 1 (node-major placement).
+			start := r.Now()
+			r.Send(2, tag, 1024)
+			r.Recv(2, tag)
+			rtt = r.Now().Sub(start)
+		case 2:
+			r.Recv(0, tag)
+			r.Send(0, tag, 1024)
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if rtt <= 0 {
+		t.Fatal("rtt not measured")
+	}
+	oneWay := rtt / 2
+	// The Cab-like idle one-way latency for 1 KB is ~1-2 µs.
+	if oneWay < 800*sim.Nanosecond || oneWay > 4*sim.Microsecond {
+		t.Fatalf("one-way latency %v outside expected idle range", oneWay)
+	}
+}
+
+func TestIntraNodeMessageBypassesSwitch(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 2) // ranks 0..3 on node 0
+	w.Launch(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 7, 4096)
+		case 1:
+			st := r.Recv(0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Size != 4096 {
+				t.Errorf("bad status %+v", st)
+			}
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if m.Network().Stats().PacketsDelivered != 0 {
+		t.Fatal("intra-node message crossed the switch")
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	const size = 40 * 1024 // CompressionB's message size: above eager threshold
+	var recvAt, sendDoneAt sim.Time
+	w.Launch(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			req := r.Isend(2, 3, size)
+			r.Wait(req)
+			sendDoneAt = r.Now()
+		case 2:
+			st := r.Recv(0, 3)
+			recvAt = r.Now()
+			if st.Size != size {
+				t.Errorf("recv size = %d", st.Size)
+			}
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if recvAt == 0 || sendDoneAt == 0 {
+		t.Fatal("timestamps not recorded")
+	}
+	// With rendezvous the sender completes no earlier than the data delivery.
+	if sendDoneAt < recvAt {
+		t.Fatalf("rendezvous send completed (%v) before data delivery (%v)", sendDoneAt, recvAt)
+	}
+	// The switch must have carried control plus payload bytes.
+	st := m.Network().Stats()
+	if st.BytesDelivered < int64(size) {
+		t.Fatalf("network carried %d bytes, want >= %d", st.BytesDelivered, size)
+	}
+}
+
+func TestEagerSendCompletesImmediately(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	w.Launch(func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(2, 1, 512)
+			if !req.Done() {
+				t.Error("eager Isend should complete locally at once")
+			}
+		}
+		if r.Rank() == 2 {
+			r.Recv(0, 1)
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+}
+
+func TestUnexpectedMessageQueue(t *testing.T) {
+	// The send arrives before the receive is posted; the message must be
+	// buffered and matched later.
+	m, w := testWorld(t, 1, 2, 1)
+	var st Status
+	w.Launch(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 9, 2048)
+		case 2:
+			r.Compute(200 * sim.Microsecond) // ensure the message is already there
+			st = r.Recv(0, 9)
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if st.Source != 0 || st.Size != 2048 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestAnySourceAndAnyTag(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	got := 0
+	w.Launch(func(r *Rank) {
+		switch r.Rank() {
+		case 1, 2, 3:
+			r.Send(0, 40+r.Rank(), 256)
+		case 0:
+			for i := 0; i < 3; i++ {
+				st := r.Recv(AnySource, AnyTag)
+				got += st.Source
+			}
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if got != 1+2+3 {
+		t.Fatalf("sum of sources = %d, want 6", got)
+	}
+}
+
+func TestTagMatchingSelectsRightMessage(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	var first, second Status
+	w.Launch(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 1, 100)
+			r.Send(2, 2, 200)
+		case 2:
+			r.Compute(300 * sim.Microsecond)
+			// Receive tag 2 first even though tag 1 arrived earlier.
+			first = r.Recv(0, 2)
+			second = r.Recv(0, 1)
+		}
+	})
+	m.Kernel().Run()
+	if first.Size != 200 || second.Size != 100 {
+		t.Fatalf("tag matching wrong: first=%+v second=%+v", first, second)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	ok := 0
+	w.Launch(func(r *Rank) {
+		if r.Rank() == 0 || r.Rank() == 2 {
+			peer := 2 - r.Rank()
+			st := r.SendRecv(peer, 5, 1024, peer, 5)
+			if st.Size == 1024 {
+				ok++
+			}
+		}
+	})
+	m.Kernel().Run()
+	if ok != 2 {
+		t.Fatalf("both sides should complete the exchange, ok=%d", ok)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m, w := testWorld(t, 2, 3, 2) // 12 ranks
+	var minAfter sim.Time = 1 << 62
+	var maxBefore sim.Time
+	w.Launch(func(r *Rank) {
+		// Stagger arrival into the barrier.
+		r.Compute(sim.Duration(r.Rank()) * 50 * sim.Microsecond)
+		before := r.Now()
+		if before > maxBefore {
+			maxBefore = before
+		}
+		r.Barrier()
+		after := r.Now()
+		if after < minAfter {
+			minAfter = after
+		}
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("world did not finish")
+	}
+	if minAfter < maxBefore {
+		t.Fatalf("a rank left the barrier (%v) before the slowest entered (%v)", minAfter, maxBefore)
+	}
+}
+
+func TestBcastReachesAllRanks(t *testing.T) {
+	for _, nodes := range []int{2, 3} {
+		m, w := testWorld(t, 3, nodes, 2)
+		count := 0
+		w.Launch(func(r *Rank) {
+			r.Bcast(1, 8192)
+			count++
+		})
+		m.Kernel().Run()
+		if !w.Done() {
+			t.Fatalf("nodes=%d: bcast deadlocked", nodes)
+		}
+		if count != w.Size() {
+			t.Fatalf("nodes=%d: count=%d want %d", nodes, count, w.Size())
+		}
+	}
+}
+
+func TestReduceAndAllreduceComplete(t *testing.T) {
+	m, w := testWorld(t, 4, 3, 2)
+	w.Launch(func(r *Rank) {
+		r.Reduce(0, 4096)
+		r.Allreduce(64)
+		r.Allreduce(1024)
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("reduce/allreduce deadlocked")
+	}
+	if w.Stats().Collectives == 0 {
+		t.Fatal("collectives not counted")
+	}
+}
+
+func TestAllgatherAndAlltoallComplete(t *testing.T) {
+	m, w := testWorld(t, 5, 3, 1) // 6 ranks
+	w.Launch(func(r *Rank) {
+		r.Allgather(2048)
+		r.Alltoall(1024)
+	})
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("allgather/alltoall deadlocked")
+	}
+}
+
+func TestAlltoallWindowedVariants(t *testing.T) {
+	// Every window size must complete and move the same volume; smaller
+	// windows serialize more and therefore cannot be faster than posting
+	// everything at once.
+	type result struct {
+		bytes int64
+		at    sim.Time
+	}
+	runWith := func(window int) result {
+		m, w := testWorld(t, 8, 3, 2) // 12 ranks over 3 nodes
+		const per = 2048
+		w.Launch(func(r *Rank) { r.AlltoallWindowed(per, window) })
+		m.Kernel().Run()
+		if !w.Done() {
+			t.Fatalf("window %d: alltoall did not finish", window)
+		}
+		at, _ := w.CompletionTime()
+		return result{bytes: w.Stats().BytesSent, at: at}
+	}
+	sync1 := runWith(1)
+	sync2 := runWith(2)
+	all := runWith(1000)
+	if sync1.bytes != sync2.bytes || sync2.bytes != all.bytes {
+		t.Fatalf("windowed variants moved different volumes: %d/%d/%d", sync1.bytes, sync2.bytes, all.bytes)
+	}
+	if sync1.at < all.at {
+		t.Fatalf("fully synchronous alltoall (%v) finished before the fully concurrent one (%v)", sync1.at, all.at)
+	}
+	// Zero/negative window is clamped to 1.
+	m, w := testWorld(t, 9, 2, 1)
+	w.Launch(func(r *Rank) { r.AlltoallWindowed(512, 0) })
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("clamped window did not finish")
+	}
+}
+
+func TestAlltoallMovesExpectedVolume(t *testing.T) {
+	m, w := testWorld(t, 6, 2, 2) // 8 ranks over 2 nodes
+	const per = 4096
+	w.Launch(func(r *Rank) { r.Alltoall(per) })
+	m.Kernel().Run()
+	if !w.Done() {
+		t.Fatal("alltoall did not finish")
+	}
+	n := int64(w.Size())
+	wantTotal := n * (n - 1) * per
+	if got := w.Stats().BytesSent; got != wantTotal {
+		t.Fatalf("bytes sent = %d, want %d", got, wantTotal)
+	}
+	// Only the inter-node portion crosses the switch: ranks 0-3 on node 0,
+	// 4-7 on node 1, so 2*4*4 ordered pairs cross.
+	crossPairs := int64(2 * 4 * 4)
+	netBytes := m.Network().Stats().BytesDelivered
+	if netBytes < crossPairs*per {
+		t.Fatalf("network carried %d bytes, want >= %d", netBytes, crossPairs*per)
+	}
+}
+
+func TestSingleRankCollectivesNoop(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 2
+	m := cluster.MustNew(k, cfg)
+	job, err := m.AllocateSpread("solo", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim to a single rank.
+	job.Placements = job.Placements[:1]
+	w := MustNewWorld(m, job, DefaultConfig())
+	w.Launch(func(r *Rank) {
+		r.Barrier()
+		r.Bcast(0, 100)
+		r.Reduce(0, 100)
+		r.Allreduce(100)
+		r.Allgather(100)
+		r.Alltoall(100)
+	})
+	k.Run()
+	if !w.Done() {
+		t.Fatal("single-rank collectives deadlocked")
+	}
+}
+
+func TestLaunchTwicePanics(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	w.Launch(func(r *Rank) {})
+	m.Kernel().Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Launch")
+		}
+	}()
+	w.Launch(func(r *Rank) {})
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	w.Launch(func(r *Rank) {
+		if r.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range destination")
+			}
+			// Re-panic with the kernel's kill value is not needed; just
+			// return normally so the world can finish.
+		}()
+		r.Isend(99, 0, 10)
+	})
+	m.Kernel().Run()
+}
+
+func TestCompletionTime(t *testing.T) {
+	m, w := testWorld(t, 1, 2, 1)
+	if _, ok := w.CompletionTime(); ok {
+		t.Fatal("completion time available before launch")
+	}
+	w.Launch(func(r *Rank) {
+		r.Compute(sim.Duration(r.Rank()+1) * sim.Millisecond)
+	})
+	m.Kernel().Run()
+	at, ok := w.CompletionTime()
+	if !ok {
+		t.Fatal("completion time missing")
+	}
+	if at != sim.Time(4*sim.Millisecond) {
+		t.Fatalf("completion at %v, want 4ms", at)
+	}
+}
+
+func TestTwoWorldsShareTheSwitch(t *testing.T) {
+	// Two jobs placed on disjoint cores of the same nodes communicate
+	// concurrently; both must finish and both contribute traffic.
+	k := sim.NewKernel(9)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 4
+	m := cluster.MustNew(k, cfg)
+	jobA, err := m.AllocateSpread("A", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := m.AllocateSpread("B", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := MustNewWorld(m, jobA, DefaultConfig())
+	wb := MustNewWorld(m, jobB, DefaultConfig())
+	body := func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Alltoall(2048)
+			r.Compute(10 * sim.Microsecond)
+		}
+	}
+	wa.Launch(body)
+	wb.Launch(body)
+	k.Run()
+	if !wa.Done() || !wb.Done() {
+		t.Fatal("co-running worlds did not finish")
+	}
+	st := m.Network().Stats()
+	if st.BytesByClass["A"] == 0 || st.BytesByClass["B"] == 0 {
+		t.Fatalf("both classes should appear in switch traffic: %v", st.BytesByClass)
+	}
+}
+
+func TestDeterministicCompletion(t *testing.T) {
+	run := func() sim.Time {
+		m, w := testWorld(t, 77, 3, 2)
+		w.Launch(func(r *Rank) {
+			for i := 0; i < 5; i++ {
+				r.Alltoall(1500)
+				r.Allreduce(64)
+			}
+		})
+		m.Kernel().Run()
+		at, _ := w.CompletionTime()
+		return at
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic completion: %v vs %v", a, b)
+	}
+}
+
+// Property: for any mix of eager and rendezvous message sizes sent from rank
+// 0 to rank (size/2), every receive completes with the matching size.
+func TestPointToPointSizesProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		sizes := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int(r)%60000 + 1 // spans eager and rendezvous
+		}
+		m, w := testWorld(t, 21, 2, 1)
+		okAll := true
+		w.Launch(func(r *Rank) {
+			switch r.Rank() {
+			case 0:
+				for i, s := range sizes {
+					r.Send(2, 100+i, s)
+				}
+			case 2:
+				for i, s := range sizes {
+					st := r.Recv(0, 100+i)
+					if st.Size != s {
+						okAll = false
+					}
+				}
+			}
+		})
+		m.Kernel().Run()
+		return okAll && w.Done()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAlltoall16Ranks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		cfg := cluster.CabConfig()
+		cfg.Net.Nodes = 4
+		m := cluster.MustNew(k, cfg)
+		job, err := m.AllocateSpread("bench", 2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := MustNewWorld(m, job, DefaultConfig())
+		w.Launch(func(r *Rank) { r.Alltoall(4096) })
+		k.Run()
+		if !w.Done() {
+			b.Fatal("alltoall did not finish")
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package netsim simulates a single network switch connecting a set of
+// compute nodes, at packet granularity, on top of the discrete-event kernel.
+//
+// The model reproduces the pieces of a real InfiniBand-class switch (the
+// QLogic 12300 used on LLNL's Cab cluster) that matter for the paper's
+// active-measurement methodology:
+//
+//   - Each node has one uplink to the switch shared by every process on the
+//     node.  The NIC arbitrates between per-flow queues in round-robin order,
+//     so a small probe packet is never stuck behind an entire bulk message
+//     from another process.
+//   - The switch forwards packets through a routing stage with a small,
+//     stochastic per-packet overhead (including a rare heavy tail, which the
+//     paper observes even on an idle switch).
+//   - Each destination node has an egress port with a finite buffer drained
+//     at link rate.  When a buffer is full, upstream NICs stall — the
+//     credit-based flow control that keeps latencies bounded and slows
+//     senders down when the switch saturates.
+//
+// Probe latency therefore grows smoothly with offered load, which is exactly
+// the signal the ImpactB benchmark measures.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// Config describes the switch and its links.
+type Config struct {
+	// Nodes is the number of compute nodes attached to the switch.
+	Nodes int
+	// LinkBandwidth is the bandwidth of each node's uplink and downlink in
+	// bytes per second.
+	LinkBandwidth float64
+	// MTU is the maximum packet payload in bytes; larger messages are
+	// segmented.
+	MTU int
+	// WireDelay is the propagation delay of one link traversal (node→switch
+	// or switch→node).
+	WireDelay sim.Duration
+	// FabricDelay is the mean per-packet routing/forwarding overhead inside
+	// the switch.
+	FabricDelay sim.Duration
+	// FabricJitter is the half-width of the uniform jitter added to
+	// FabricDelay.
+	FabricJitter sim.Duration
+	// TailProb is the probability that a packet experiences an additional
+	// exponentially-distributed delay of mean TailDelay inside the switch
+	// (buffer conflicts, arbitration misses).  This produces the small
+	// high-latency tail visible on an idle switch.
+	TailProb float64
+	// TailDelay is the mean of the heavy-tail delay component.
+	TailDelay sim.Duration
+	// EgressBufferBytes is the per-output-port buffer size.  Zero means
+	// unlimited buffering (no back-pressure), which is physically unrealistic
+	// but useful as an ablation.
+	EgressBufferBytes int
+}
+
+// CabConfig returns a configuration modelled after one bottom-level switch of
+// LLNL's Cab cluster: 18 nodes, ~5 GB/s links, ~1.25 µs idle one-way packet
+// latency.
+func CabConfig() Config {
+	return Config{
+		Nodes:             18,
+		LinkBandwidth:     5e9,
+		MTU:               4096,
+		WireDelay:         250 * sim.Nanosecond,
+		FabricDelay:       200 * sim.Nanosecond,
+		FabricJitter:      120 * sim.Nanosecond,
+		TailProb:          0.02,
+		TailDelay:         2 * sim.Microsecond,
+		EgressBufferBytes: 16 * 1024,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("netsim: need at least 2 nodes, have %d", c.Nodes)
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("netsim: non-positive link bandwidth %v", c.LinkBandwidth)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("netsim: non-positive MTU %d", c.MTU)
+	}
+	if c.TailProb < 0 || c.TailProb > 1 {
+		return fmt.Errorf("netsim: tail probability %v outside [0,1]", c.TailProb)
+	}
+	if c.EgressBufferBytes < 0 {
+		return fmt.Errorf("netsim: negative egress buffer %d", c.EgressBufferBytes)
+	}
+	if c.EgressBufferBytes > 0 && c.EgressBufferBytes < c.MTU {
+		return fmt.Errorf("netsim: egress buffer %dB smaller than MTU %dB", c.EgressBufferBytes, c.MTU)
+	}
+	return nil
+}
+
+// Flow identifies a traffic source for NIC arbitration and accounting: every
+// (class, id) pair gets its own queue at its node's NIC.
+type Flow struct {
+	// Class labels the software component generating the traffic, e.g.
+	// "impact", "compress" or an application name.
+	Class string
+	// ID distinguishes flows of the same class, typically the sender rank.
+	ID int
+}
+
+// Delivery describes a packet that reached its destination; observers receive
+// one per packet.
+type Delivery struct {
+	Src, Dst int
+	Size     int
+	Flow     Flow
+	Sent     sim.Time
+	Arrived  sim.Time
+}
+
+// Latency returns the packet's one-way latency.
+func (d Delivery) Latency() sim.Duration { return d.Arrived.Sub(d.Sent) }
+
+// packet is the unit of transfer inside the simulator.
+type packet struct {
+	src, dst  int
+	size      int
+	flow      Flow
+	sent      sim.Time
+	onDeliver func(Delivery)
+	msg       *messageState
+}
+
+// messageState tracks the remaining packets of a segmented message.
+type messageState struct {
+	remaining  int
+	onComplete func(sim.Time)
+}
+
+// flowQueue is one per-flow FIFO at a node's NIC.
+type flowQueue struct {
+	flow    Flow
+	packets []*packet
+}
+
+// nic models a node's network interface: per-flow queues drained round-robin
+// onto the uplink.
+type nic struct {
+	node    int
+	queues  []*flowQueue
+	byFlow  map[Flow]*flowQueue
+	next    int // round-robin cursor into queues
+	busy    bool
+	busyNS  sim.Duration
+	stalled bool
+}
+
+// egressPort models one switch output port and its downlink.
+type egressPort struct {
+	node     int
+	queue    []*packet
+	buffered int
+	busy     bool
+	busyNS   sim.Duration
+	// waiters are NICs stalled on this port, retried in stall order so no
+	// node starves when the port is saturated.
+	waiters []*nic
+	waiting map[*nic]bool
+}
+
+// Network is the simulated single-switch network.
+type Network struct {
+	k      *sim.Kernel
+	cfg    Config
+	rng    *rand.Rand
+	nics   []*nic
+	egress []*egressPort
+
+	observers []func(Delivery)
+
+	// Statistics.
+	packetsDelivered int64
+	bytesDelivered   int64
+	bytesByClass     map[string]int64
+	stallEvents      int64
+}
+
+// New creates a network attached to kernel k.
+func New(k *sim.Kernel, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		k:            k,
+		cfg:          cfg,
+		rng:          k.NewRand("netsim"),
+		bytesByClass: make(map[string]int64),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.nics = append(n.nics, &nic{node: i, byFlow: make(map[Flow]*flowQueue)})
+		n.egress = append(n.egress, &egressPort{node: i, waiting: make(map[*nic]bool)})
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(k *sim.Kernel, cfg Config) *Network {
+	n, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of attached nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Observe registers fn to be called for every delivered packet.
+func (n *Network) Observe(fn func(Delivery)) { n.observers = append(n.observers, fn) }
+
+// serialization returns the time to push size bytes over one link.
+func (n *Network) serialization(size int) sim.Duration {
+	return sim.Duration(float64(size) / n.cfg.LinkBandwidth * float64(sim.Second))
+}
+
+// SendMessage injects a message of size bytes from node src to node dst on
+// behalf of flow.  The message is segmented into MTU-sized packets.  When the
+// last byte is delivered, onComplete is invoked with the delivery time.
+// Sending to the own node is not handled here (the MPI layer short-circuits
+// intra-node traffic); src and dst must differ.
+func (n *Network) SendMessage(src, dst, size int, flow Flow, onComplete func(sim.Time)) error {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return err
+	}
+	if size <= 0 {
+		return fmt.Errorf("netsim: non-positive message size %d", size)
+	}
+	npkts := (size + n.cfg.MTU - 1) / n.cfg.MTU
+	ms := &messageState{remaining: npkts, onComplete: onComplete}
+	remaining := size
+	for i := 0; i < npkts; i++ {
+		psize := n.cfg.MTU
+		if psize > remaining {
+			psize = remaining
+		}
+		remaining -= psize
+		n.inject(&packet{src: src, dst: dst, size: psize, flow: flow, sent: n.k.Now(), msg: ms})
+	}
+	return nil
+}
+
+// SendProbe injects a single probe packet of size bytes and reports its
+// delivery (including one-way latency) to onDeliver.  Probe packets must fit
+// in one MTU.
+func (n *Network) SendProbe(src, dst, size int, flow Flow, onDeliver func(Delivery)) error {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return err
+	}
+	if size <= 0 || size > n.cfg.MTU {
+		return fmt.Errorf("netsim: probe size %d outside (0, MTU=%d]", size, n.cfg.MTU)
+	}
+	n.inject(&packet{src: src, dst: dst, size: size, flow: flow, sent: n.k.Now(), onDeliver: onDeliver})
+	return nil
+}
+
+func (n *Network) checkEndpoints(src, dst int) error {
+	if src < 0 || src >= n.cfg.Nodes || dst < 0 || dst >= n.cfg.Nodes {
+		return fmt.Errorf("netsim: endpoint out of range src=%d dst=%d nodes=%d", src, dst, n.cfg.Nodes)
+	}
+	if src == dst {
+		return fmt.Errorf("netsim: src and dst are the same node %d", src)
+	}
+	return nil
+}
+
+// inject places a packet on its source NIC's per-flow queue.
+func (n *Network) inject(p *packet) {
+	nc := n.nics[p.src]
+	fq := nc.byFlow[p.flow]
+	if fq == nil {
+		fq = &flowQueue{flow: p.flow}
+		nc.byFlow[p.flow] = fq
+		nc.queues = append(nc.queues, fq)
+	}
+	fq.packets = append(fq.packets, p)
+	n.tryStartUplink(nc)
+}
+
+// tryStartUplink starts transmitting the next admissible packet from the
+// NIC's flow queues, in round-robin order.  If every candidate packet heads
+// to a full egress buffer the NIC stalls until space frees up.
+func (n *Network) tryStartUplink(nc *nic) {
+	if nc.busy {
+		return
+	}
+	total := len(nc.queues)
+	if total == 0 {
+		return
+	}
+	blockedOn := make(map[*egressPort]bool)
+	var chosen *packet
+	var chosenQueue *flowQueue
+	for i := 0; i < total; i++ {
+		idx := (nc.next + i) % total
+		fq := nc.queues[idx]
+		if len(fq.packets) == 0 {
+			continue
+		}
+		p := fq.packets[0]
+		eg := n.egress[p.dst]
+		if n.cfg.EgressBufferBytes > 0 && eg.buffered+p.size > n.cfg.EgressBufferBytes {
+			blockedOn[eg] = true
+			continue
+		}
+		chosen = p
+		chosenQueue = fq
+		nc.next = (idx + 1) % total
+		break
+	}
+	if chosen == nil {
+		if len(blockedOn) > 0 {
+			// Head-of-line stall: register for wake-up on every blocking port.
+			nc.stalled = true
+			n.stallEvents++
+			for eg := range blockedOn {
+				if !eg.waiting[nc] {
+					eg.waiting[nc] = true
+					eg.waiters = append(eg.waiters, nc)
+				}
+			}
+		}
+		return
+	}
+	nc.stalled = false
+	chosenQueue.packets = chosenQueue.packets[1:]
+	eg := n.egress[chosen.dst]
+	eg.buffered += chosen.size // credit reserved while the packet is in flight
+	ser := n.serialization(chosen.size)
+	nc.busy = true
+	nc.busyNS += ser
+	n.k.After(ser, func() {
+		nc.busy = false
+		n.k.After(n.cfg.WireDelay, func() { n.enterFabric(chosen) })
+		n.tryStartUplink(nc)
+	})
+}
+
+// enterFabric models the switch's internal routing stage.
+func (n *Network) enterFabric(p *packet) {
+	d := n.cfg.FabricDelay
+	if n.cfg.FabricJitter > 0 {
+		d += sim.Duration(n.rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
+	}
+	if n.cfg.TailProb > 0 && n.rng.Float64() < n.cfg.TailProb {
+		d += sim.Duration(n.rng.ExpFloat64() * float64(n.cfg.TailDelay))
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.k.After(d, func() { n.enqueueEgress(p) })
+}
+
+// enqueueEgress places the packet on its destination port's queue.
+func (n *Network) enqueueEgress(p *packet) {
+	eg := n.egress[p.dst]
+	eg.queue = append(eg.queue, p)
+	n.tryStartEgress(eg)
+}
+
+// tryStartEgress drains the egress queue onto the downlink.
+func (n *Network) tryStartEgress(eg *egressPort) {
+	if eg.busy || len(eg.queue) == 0 {
+		return
+	}
+	p := eg.queue[0]
+	eg.queue = eg.queue[1:]
+	eg.busy = true
+	ser := n.serialization(p.size)
+	eg.busyNS += ser
+	n.k.After(ser, func() {
+		eg.busy = false
+		eg.buffered -= p.size
+		n.wakeWaiters(eg)
+		n.k.After(n.cfg.WireDelay, func() { n.deliver(p) })
+		n.tryStartEgress(eg)
+	})
+}
+
+// wakeWaiters retries NICs stalled on this egress port, in the order they
+// stalled (first stalled, first retried), so saturated ports serve every
+// upstream node fairly.
+func (n *Network) wakeWaiters(eg *egressPort) {
+	if len(eg.waiters) == 0 {
+		return
+	}
+	waiters := eg.waiters
+	eg.waiters = nil
+	for _, nc := range waiters {
+		delete(eg.waiting, nc)
+	}
+	for _, nc := range waiters {
+		n.tryStartUplink(nc)
+	}
+}
+
+// deliver hands the packet to its destination.
+func (n *Network) deliver(p *packet) {
+	n.packetsDelivered++
+	n.bytesDelivered += int64(p.size)
+	n.bytesByClass[p.flow.Class] += int64(p.size)
+	d := Delivery{Src: p.src, Dst: p.dst, Size: p.size, Flow: p.flow, Sent: p.sent, Arrived: n.k.Now()}
+	for _, obs := range n.observers {
+		obs(d)
+	}
+	if p.onDeliver != nil {
+		p.onDeliver(d)
+	}
+	if p.msg != nil {
+		p.msg.remaining--
+		if p.msg.remaining == 0 && p.msg.onComplete != nil {
+			p.msg.onComplete(n.k.Now())
+		}
+	}
+}
+
+// Stats summarizes the traffic the network has carried so far.
+type Stats struct {
+	PacketsDelivered int64
+	BytesDelivered   int64
+	BytesByClass     map[string]int64
+	StallEvents      int64
+	// UplinkBusy and DownlinkBusy are the cumulative transmission times per
+	// node link.
+	UplinkBusy   []sim.Duration
+	DownlinkBusy []sim.Duration
+}
+
+// Stats returns a snapshot of the network's counters.
+func (n *Network) Stats() Stats {
+	s := Stats{
+		PacketsDelivered: n.packetsDelivered,
+		BytesDelivered:   n.bytesDelivered,
+		BytesByClass:     make(map[string]int64, len(n.bytesByClass)),
+		StallEvents:      n.stallEvents,
+	}
+	for k, v := range n.bytesByClass {
+		s.BytesByClass[k] = v
+	}
+	for _, nc := range n.nics {
+		s.UplinkBusy = append(s.UplinkBusy, nc.busyNS)
+	}
+	for _, eg := range n.egress {
+		s.DownlinkBusy = append(s.DownlinkBusy, eg.busyNS)
+	}
+	return s
+}
+
+// MeanLinkUtilization returns the mean downlink utilization (busy fraction)
+// over the elapsed virtual time window; it is a ground-truth load measure
+// used in tests and ablations (the methodology itself never reads it — it
+// only sees probe latencies, like on real hardware).
+func (n *Network) MeanLinkUtilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, eg := range n.egress {
+		sum += float64(eg.busyNS) / float64(elapsed)
+	}
+	return sum / float64(len(n.egress))
+}
+
+// IdleLatencyEstimate returns the expected one-way latency of a size-byte
+// packet on an otherwise idle network, excluding the stochastic tail.  It is
+// used by tests and by the documentation, not by the measurement code.
+func (n *Network) IdleLatencyEstimate(size int) sim.Duration {
+	return n.serialization(size)*2 + 2*n.cfg.WireDelay + n.cfg.FabricDelay
+}

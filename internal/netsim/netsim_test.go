@@ -1,0 +1,420 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := CabConfig()
+	cfg.Nodes = 4
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := CabConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.LinkBandwidth = 0 },
+		func(c *Config) { c.MTU = 0 },
+		func(c *Config) { c.TailProb = 1.5 },
+		func(c *Config) { c.TailProb = -0.1 },
+		func(c *Config) { c.EgressBufferBytes = -1 },
+		func(c *Config) { c.EgressBufferBytes = 100 },
+	}
+	for i, mutate := range bad {
+		c := CabConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic")
+		}
+	}()
+	MustNew(k, Config{})
+}
+
+func TestCabConfigShape(t *testing.T) {
+	c := CabConfig()
+	if c.Nodes != 18 {
+		t.Fatalf("nodes = %d, want 18", c.Nodes)
+	}
+	if c.LinkBandwidth != 5e9 {
+		t.Fatalf("bandwidth = %v, want 5e9", c.LinkBandwidth)
+	}
+}
+
+func TestIdleProbeLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	cfg.TailProb = 0 // deterministic path for this test
+	cfg.FabricJitter = 0
+	n := MustNew(k, cfg)
+	var got sim.Duration
+	err := n.SendProbe(0, 1, 1024, Flow{Class: "impact", ID: 0}, func(d Delivery) {
+		got = d.Latency()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := n.IdleLatencyEstimate(1024)
+	if got != want {
+		t.Fatalf("idle probe latency = %v, want %v", got, want)
+	}
+	// Sanity: the Cab-like idle latency should be around 1-1.5 µs.
+	if got < 800*sim.Nanosecond || got > 2*sim.Microsecond {
+		t.Fatalf("idle latency %v outside the expected Cab-like range", got)
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := MustNew(k, testConfig())
+	cases := []struct {
+		src, dst, size int
+	}{
+		{0, 0, 100},     // same node
+		{-1, 1, 100},    // src out of range
+		{0, 99, 100},    // dst out of range
+		{0, 1, 0},       // zero size
+		{0, 1, 1 << 20}, // larger than MTU
+	}
+	for i, c := range cases {
+		if err := n.SendProbe(c.src, c.dst, c.size, Flow{}, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := MustNew(k, testConfig())
+	if err := n.SendMessage(0, 0, 100, Flow{}, nil); err == nil {
+		t.Fatal("expected same-node error")
+	}
+	if err := n.SendMessage(0, 1, 0, Flow{}, nil); err == nil {
+		t.Fatal("expected size error")
+	}
+	if err := n.SendMessage(5, 1, 10, Flow{}, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestMessageSegmentationAndCompletion(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	n := MustNew(k, cfg)
+	size := cfg.MTU*3 + 100 // 4 packets
+	completions := 0
+	var completedAt sim.Time
+	if err := n.SendMessage(0, 2, size, Flow{Class: "app", ID: 7}, func(at sim.Time) {
+		completions++
+		completedAt = at
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if completions != 1 {
+		t.Fatalf("completions = %d, want 1", completions)
+	}
+	if completedAt == 0 {
+		t.Fatal("completion time not set")
+	}
+	s := n.Stats()
+	if s.PacketsDelivered != 4 {
+		t.Fatalf("packets = %d, want 4", s.PacketsDelivered)
+	}
+	if s.BytesDelivered != int64(size) {
+		t.Fatalf("bytes = %d, want %d", s.BytesDelivered, size)
+	}
+	if s.BytesByClass["app"] != int64(size) {
+		t.Fatalf("bytes by class = %v", s.BytesByClass)
+	}
+}
+
+func TestObserverSeesEveryPacket(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	n := MustNew(k, cfg)
+	seen := 0
+	n.Observe(func(d Delivery) {
+		seen++
+		if d.Latency() <= 0 {
+			t.Errorf("non-positive latency %v", d.Latency())
+		}
+	})
+	if err := n.SendMessage(1, 3, cfg.MTU*5, Flow{Class: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if seen != 5 {
+		t.Fatalf("observer saw %d packets, want 5", seen)
+	}
+}
+
+func TestSingleFlowThroughputNearLinkRate(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	n := MustNew(k, cfg)
+	const totalBytes = 10 << 20 // 10 MB
+	done := sim.Time(0)
+	if err := n.SendMessage(0, 1, totalBytes, Flow{Class: "bulk"}, func(at sim.Time) { done = at }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	elapsed := done.Seconds()
+	gbps := float64(totalBytes) / elapsed
+	// Should achieve at least 80% of link bandwidth and never exceed it by
+	// more than rounding.
+	if gbps < 0.8*cfg.LinkBandwidth {
+		t.Fatalf("throughput %.2e B/s too low (link %.2e)", gbps, cfg.LinkBandwidth)
+	}
+	if gbps > 1.05*cfg.LinkBandwidth {
+		t.Fatalf("throughput %.2e B/s exceeds link bandwidth %.2e", gbps, cfg.LinkBandwidth)
+	}
+}
+
+func TestRoundRobinProtectsProbeFromBulkFlow(t *testing.T) {
+	// A probe sharing the NIC with a large in-flight bulk message must not
+	// wait for the entire message: the NIC arbitrates per flow.
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	cfg.TailProb = 0
+	n := MustNew(k, cfg)
+	bulkBytes := 2 << 20 // 2 MB to a different destination
+	if err := n.SendMessage(0, 2, bulkBytes, Flow{Class: "bulk", ID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var probeLatency sim.Duration
+	k.After(10*sim.Microsecond, func() {
+		if err := n.SendProbe(0, 1, 1024, Flow{Class: "impact", ID: 0}, func(d Delivery) {
+			probeLatency = d.Latency()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.Run()
+	bulkDrain := n.serialization(bulkBytes)
+	if probeLatency == 0 {
+		t.Fatal("probe never delivered")
+	}
+	if probeLatency > bulkDrain/10 {
+		t.Fatalf("probe latency %v suggests FIFO behind the whole bulk message (drain %v)", probeLatency, bulkDrain)
+	}
+	if probeLatency < n.IdleLatencyEstimate(1024) {
+		t.Fatalf("probe latency %v below idle estimate", probeLatency)
+	}
+}
+
+func TestBackpressureBoundsLatencyAndThrottlesSenders(t *testing.T) {
+	// Several nodes blast traffic at node 0; with finite egress buffers the
+	// probe latency through the hot port stays bounded near the buffer drain
+	// time, while with unlimited buffers it grows far beyond it.
+	run := func(buffer int) sim.Duration {
+		k := sim.NewKernel(7)
+		cfg := testConfig()
+		cfg.EgressBufferBytes = buffer
+		cfg.TailProb = 0
+		n := MustNew(k, cfg)
+		for src := 1; src < cfg.Nodes; src++ {
+			if err := n.SendMessage(src, 0, 4<<20, Flow{Class: "blast", ID: src}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var lat sim.Duration
+		k.After(500*sim.Microsecond, func() {
+			if err := n.SendProbe(1, 0, 1024, Flow{Class: "impact"}, func(d Delivery) { lat = d.Latency() }); err != nil {
+				t.Fatal(err)
+			}
+		})
+		k.Run()
+		if lat == 0 {
+			t.Fatal("probe never delivered")
+		}
+		return lat
+	}
+	bounded := run(32 * 1024)
+	unbounded := run(0)
+	bufferDrain := sim.Duration(float64(32*1024) / testConfig().LinkBandwidth * float64(sim.Second))
+	if bounded > 6*bufferDrain {
+		t.Fatalf("back-pressured probe latency %v far exceeds buffer drain %v", bounded, bufferDrain)
+	}
+	if unbounded < 4*bounded {
+		t.Fatalf("unlimited-buffer latency %v not much larger than bounded %v", unbounded, bounded)
+	}
+}
+
+func TestStallEventsCountedUnderCongestion(t *testing.T) {
+	k := sim.NewKernel(3)
+	cfg := testConfig()
+	n := MustNew(k, cfg)
+	for src := 1; src < cfg.Nodes; src++ {
+		if err := n.SendMessage(src, 0, 1<<20, Flow{Class: "blast", ID: src}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if n.Stats().StallEvents == 0 {
+		t.Fatal("expected stall events when a single egress port is oversubscribed")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	// Mean probe latency must increase monotonically-ish with background load;
+	// this is the physical basis of the whole methodology.
+	meanProbe := func(bgMessages int) float64 {
+		k := sim.NewKernel(11)
+		cfg := testConfig()
+		n := MustNew(k, cfg)
+		// Background: each node sends bgMessages of 40 KB to the next node
+		// every 200 µs.
+		for node := 0; node < cfg.Nodes; node++ {
+			node := node
+			k.Spawn("bg", func(p *sim.Proc) {
+				for {
+					for m := 0; m < bgMessages; m++ {
+						dst := (node + 1 + m%(cfg.Nodes-1)) % cfg.Nodes
+						if dst == node {
+							dst = (dst + 1) % cfg.Nodes
+						}
+						_ = n.SendMessage(node, dst, 40*1024, Flow{Class: "bg", ID: node}, nil)
+					}
+					p.Sleep(200 * sim.Microsecond)
+				}
+			})
+		}
+		var sum float64
+		var count int
+		k.Spawn("probe", func(p *sim.Proc) {
+			for {
+				p.Sleep(50 * sim.Microsecond)
+				_ = n.SendProbe(0, 2, 1024, Flow{Class: "impact"}, func(d Delivery) {
+					sum += d.Latency().Micros()
+					count++
+				})
+			}
+		})
+		k.RunUntil(sim.Time(20 * sim.Millisecond))
+		k.Shutdown()
+		if count == 0 {
+			t.Fatal("no probes delivered")
+		}
+		return sum / float64(count)
+	}
+	idle := meanProbe(0)
+	light := meanProbe(1)
+	heavy := meanProbe(8)
+	if !(idle < light && light < heavy) {
+		t.Fatalf("latency not increasing with load: idle=%.2f light=%.2f heavy=%.2f µs", idle, light, heavy)
+	}
+	if idle < 1.0 || idle > 2.0 {
+		t.Fatalf("idle mean latency %.2f µs outside the expected ~1.25 µs band", idle)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (int64, sim.Time) {
+		k := sim.NewKernel(99)
+		cfg := testConfig()
+		n := MustNew(k, cfg)
+		var last sim.Time
+		n.Observe(func(d Delivery) { last = d.Arrived })
+		for i := 0; i < 10; i++ {
+			src := i % cfg.Nodes
+			dst := (i + 1) % cfg.Nodes
+			if err := n.SendMessage(src, dst, 10000+i*1000, Flow{Class: "x", ID: i}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+		return n.Stats().PacketsDelivered, last
+	}
+	p1, t1 := run()
+	p2, t2 := run()
+	if p1 != p2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", p1, t1, p2, t2)
+	}
+}
+
+func TestMeanLinkUtilization(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := testConfig()
+	n := MustNew(k, cfg)
+	if err := n.SendMessage(0, 1, 5<<20, Flow{Class: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	end := k.Run()
+	u := n.MeanLinkUtilization(sim.Duration(end))
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if n.MeanLinkUtilization(0) != 0 {
+		t.Fatal("zero elapsed should give zero utilization")
+	}
+}
+
+// Property: every byte sent is eventually delivered exactly once
+// (conservation), for arbitrary message patterns.
+func TestConservationProperty(t *testing.T) {
+	prop := func(spec []uint16) bool {
+		k := sim.NewKernel(5)
+		cfg := testConfig()
+		n := MustNew(k, cfg)
+		var sent int64
+		completions := 0
+		want := 0
+		for i, s := range spec {
+			if i >= 25 {
+				break
+			}
+			src := int(s) % cfg.Nodes
+			dst := (src + 1 + int(s>>3)%(cfg.Nodes-1)) % cfg.Nodes
+			if dst == src {
+				continue
+			}
+			size := int(s%200)*97 + 1
+			sent += int64(size)
+			want++
+			if err := n.SendMessage(src, dst, size, Flow{Class: "p", ID: i}, func(sim.Time) { completions++ }); err != nil {
+				return false
+			}
+		}
+		k.Run()
+		st := n.Stats()
+		return st.BytesDelivered == sent && completions == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPacketDelivery(b *testing.B) {
+	k := sim.NewKernel(1)
+	cfg := CabConfig()
+	n := MustNew(k, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % cfg.Nodes
+		dst := (i + 1) % cfg.Nodes
+		if err := n.SendProbe(src, dst, 1024, Flow{Class: "bench"}, nil); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}

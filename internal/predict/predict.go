@@ -1,0 +1,219 @@
+// Package predict evaluates the paper's slowdown predictors against measured
+// co-run slowdowns: it assembles per-pair predictions (Fig. 8), aggregates
+// per-model error statistics (Fig. 9) and reports the summary metrics the
+// paper quotes (average error, fraction of predictions within 10%).
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+// Pairing identifies an ordered application pair: Target's slowdown when it
+// shares the switch with CoRunner.
+type Pairing struct {
+	Target   string
+	CoRunner string
+}
+
+// String renders the pairing as "Target+CoRunner".
+func (p Pairing) String() string { return p.Target + "+" + p.CoRunner }
+
+// PairPrediction is the measured and predicted slowdown of one pairing.
+type PairPrediction struct {
+	Pairing
+	// MeasuredPct is the observed degradation of Target while co-running
+	// with CoRunner.
+	MeasuredPct float64
+	// PredictedPct maps predictor name to its predicted degradation.
+	PredictedPct map[string]float64
+}
+
+// Error returns |measured − predicted| for the named predictor.
+func (pp PairPrediction) Error(predictor string) float64 {
+	d := pp.MeasuredPct - pp.PredictedPct[predictor]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Evaluate predicts, with every given model, the slowdown of the application
+// described by target when co-running with the component whose signature is
+// coRunner, and pairs the predictions with the measured value.
+func Evaluate(models []model.Predictor, target core.Profile, coRunner core.Signature,
+	measuredPct float64) (PairPrediction, error) {
+	pp := PairPrediction{
+		Pairing:      Pairing{Target: target.App, CoRunner: coRunner.Component},
+		MeasuredPct:  measuredPct,
+		PredictedPct: make(map[string]float64, len(models)),
+	}
+	for _, m := range models {
+		pred, err := m.Predict(target, coRunner)
+		if err != nil {
+			return PairPrediction{}, fmt.Errorf("predict: %s on %s: %w", m.Name(), pp.Pairing, err)
+		}
+		pp.PredictedPct[m.Name()] = pred
+	}
+	return pp, nil
+}
+
+// Study is a full pairwise evaluation: every ordered pair of applications,
+// predicted by every model.
+type Study struct {
+	// Apps lists the applications in presentation order.
+	Apps []string
+	// Models lists the predictor names in presentation order.
+	Models []string
+	// Pairs holds one prediction record per ordered pair, grouped by target
+	// application in Apps order (the layout of the paper's Fig. 8 x-axis).
+	Pairs []PairPrediction
+}
+
+// NewStudy evaluates all ordered pairs of apps.  profiles and signatures are
+// keyed by application name; measured maps each ordered pairing to its
+// ground-truth degradation percentage.
+func NewStudy(models []model.Predictor, apps []string, profiles map[string]core.Profile,
+	signatures map[string]core.Signature, measured map[Pairing]float64) (Study, error) {
+	if len(models) == 0 {
+		return Study{}, fmt.Errorf("predict: no models given")
+	}
+	st := Study{Apps: append([]string(nil), apps...)}
+	for _, m := range models {
+		st.Models = append(st.Models, m.Name())
+	}
+	for _, target := range apps {
+		prof, ok := profiles[target]
+		if !ok {
+			return Study{}, fmt.Errorf("predict: missing profile for %s", target)
+		}
+		for _, co := range apps {
+			sig, ok := signatures[co]
+			if !ok {
+				return Study{}, fmt.Errorf("predict: missing signature for %s", co)
+			}
+			pair := Pairing{Target: target, CoRunner: co}
+			meas, ok := measured[pair]
+			if !ok {
+				return Study{}, fmt.Errorf("predict: missing measured slowdown for %s", pair)
+			}
+			pp, err := Evaluate(models, prof, sig, meas)
+			if err != nil {
+				return Study{}, err
+			}
+			// Evaluate labels the co-runner with the signature's component
+			// name; keep the canonical pairing naming.
+			pp.Pairing = pair
+			st.Pairs = append(st.Pairs, pp)
+		}
+	}
+	return st, nil
+}
+
+// ErrorsByModel returns, per predictor, the absolute errors of every pairing
+// in the study (the data behind Fig. 8).
+func (s Study) ErrorsByModel() map[string][]float64 {
+	out := make(map[string][]float64, len(s.Models))
+	for _, m := range s.Models {
+		errs := make([]float64, 0, len(s.Pairs))
+		for _, pp := range s.Pairs {
+			errs = append(errs, pp.Error(m))
+		}
+		out[m] = errs
+	}
+	return out
+}
+
+// SummaryByModel returns the quartile summary of each predictor's errors (the
+// data behind Fig. 9).
+func (s Study) SummaryByModel() map[string]stats.BoxPlot {
+	out := make(map[string]stats.BoxPlot, len(s.Models))
+	for m, errs := range s.ErrorsByModel() {
+		out[m] = stats.BoxSummary(errs)
+	}
+	return out
+}
+
+// MeanAbsErrorByModel returns each predictor's mean absolute error over all
+// pairings.
+func (s Study) MeanAbsErrorByModel() map[string]float64 {
+	out := make(map[string]float64, len(s.Models))
+	for m, errs := range s.ErrorsByModel() {
+		out[m] = stats.Mean(errs)
+	}
+	return out
+}
+
+// FractionWithin returns, per predictor, the fraction of pairings whose
+// absolute error is at most tol percentage points (the paper highlights the
+// queue model having >75% of predictions within 10 points).
+func (s Study) FractionWithin(tol float64) map[string]float64 {
+	out := make(map[string]float64, len(s.Models))
+	for m, errs := range s.ErrorsByModel() {
+		if len(errs) == 0 {
+			out[m] = 0
+			continue
+		}
+		n := 0
+		for _, e := range errs {
+			if e <= tol {
+				n++
+			}
+		}
+		out[m] = float64(n) / float64(len(errs))
+	}
+	return out
+}
+
+// BestModel returns the predictor with the lowest mean absolute error.
+func (s Study) BestModel() string {
+	type entry struct {
+		name string
+		mae  float64
+	}
+	var entries []entry
+	for m, mae := range s.MeanAbsErrorByModel() {
+		entries = append(entries, entry{m, mae})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mae != entries[j].mae {
+			return entries[i].mae < entries[j].mae
+		}
+		return entries[i].name < entries[j].name
+	})
+	if len(entries) == 0 {
+		return ""
+	}
+	return entries[0].name
+}
+
+// Pair returns the prediction record of one ordered pairing.
+func (s Study) Pair(target, coRunner string) (PairPrediction, bool) {
+	for _, pp := range s.Pairs {
+		if pp.Target == target && pp.CoRunner == coRunner {
+			return pp, true
+		}
+	}
+	return PairPrediction{}, false
+}
+
+// MeasuredMatrix returns the Table I matrix of measured slowdowns in Apps
+// order: rows are targets, columns are co-runners.
+func (s Study) MeasuredMatrix() [][]float64 {
+	idx := make(map[string]int, len(s.Apps))
+	for i, a := range s.Apps {
+		idx[a] = i
+	}
+	out := make([][]float64, len(s.Apps))
+	for i := range out {
+		out[i] = make([]float64, len(s.Apps))
+	}
+	for _, pp := range s.Pairs {
+		out[idx[pp.Target]][idx[pp.CoRunner]] = pp.MeasuredPct
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+// fixture builds a small synthetic study over two applications: "Comm" (very
+// network sensitive) and "Cpu" (insensitive).
+func fixture(t *testing.T) (apps []string, profiles map[string]core.Profile,
+	signatures map[string]core.Signature, measured map[Pairing]float64) {
+	t.Helper()
+	mkHist := func(mean float64) *stats.Histogram {
+		h := stats.MustHistogram(0, 20, 40)
+		for i := -2; i <= 2; i++ {
+			h.Add(mean + float64(i)*0.2)
+		}
+		return h
+	}
+	mkPoint := func(mean, util, deg float64) core.ProfilePoint {
+		return core.ProfilePoint{
+			Injector:       inject.NewConfig(1, 1, 2.5e6),
+			UtilizationPct: util,
+			ImpactMean:     mean * 1e-6,
+			ImpactStd:      0.4e-6,
+			ImpactHist:     mkHist(mean),
+			DegradationPct: deg,
+		}
+	}
+	profiles = map[string]core.Profile{
+		"Comm": {
+			App:      "Comm",
+			Baseline: core.Runtime{App: "Comm", TimePerIteration: 1000, Iterations: 10},
+			Points:   []core.ProfilePoint{mkPoint(1.5, 30, 10), mkPoint(4, 60, 60), mkPoint(8, 90, 200)},
+		},
+		"Cpu": {
+			App:      "Cpu",
+			Baseline: core.Runtime{App: "Cpu", TimePerIteration: 2000, Iterations: 10},
+			Points:   []core.ProfilePoint{mkPoint(1.5, 30, 1), mkPoint(4, 60, 2), mkPoint(8, 90, 4)},
+		},
+	}
+	signatures = map[string]core.Signature{
+		// Comm loads the switch like the medium injector configuration.
+		"Comm": {Component: "Comm", Mean: 4e-6, StdDev: 0.4e-6, Hist: mkHist(4), UtilizationPct: 60},
+		// Cpu barely loads the switch.
+		"Cpu": {Component: "Cpu", Mean: 1.6e-6, StdDev: 0.3e-6, Hist: mkHist(1.6), UtilizationPct: 32},
+	}
+	measured = map[Pairing]float64{
+		{Target: "Comm", CoRunner: "Comm"}: 65,
+		{Target: "Comm", CoRunner: "Cpu"}:  12,
+		{Target: "Cpu", CoRunner: "Comm"}:  2,
+		{Target: "Cpu", CoRunner: "Cpu"}:   1,
+	}
+	return []string{"Comm", "Cpu"}, profiles, signatures, measured
+}
+
+func TestPairingString(t *testing.T) {
+	p := Pairing{Target: "A", CoRunner: "B"}
+	if p.String() != "A+B" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestEvaluateSinglePair(t *testing.T) {
+	_, profiles, signatures, _ := fixture(t)
+	pp, err := Evaluate(model.All(), profiles["Comm"], signatures["Cpu"], 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.MeasuredPct != 12 {
+		t.Fatalf("measured = %v", pp.MeasuredPct)
+	}
+	if len(pp.PredictedPct) != 4 {
+		t.Fatalf("predictions = %v", pp.PredictedPct)
+	}
+	// The co-runner looks like the light injector configuration, so the
+	// look-up models should predict ~10 and the queue model should
+	// interpolate near 10-15.
+	if pp.PredictedPct["AverageLT"] != 10 {
+		t.Fatalf("AverageLT = %v", pp.PredictedPct["AverageLT"])
+	}
+	if e := pp.Error("AverageLT"); math.Abs(e-2) > 1e-9 {
+		t.Fatalf("error = %v, want 2", e)
+	}
+}
+
+func TestNewStudyAndAggregates(t *testing.T) {
+	apps, profiles, signatures, measured := fixture(t)
+	st, err := NewStudy(model.All(), apps, profiles, signatures, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pairs) != 4 {
+		t.Fatalf("pairs = %d, want 4", len(st.Pairs))
+	}
+	if len(st.Models) != 4 {
+		t.Fatalf("models = %v", st.Models)
+	}
+	errs := st.ErrorsByModel()
+	for m, es := range errs {
+		if len(es) != 4 {
+			t.Fatalf("model %s has %d errors", m, len(es))
+		}
+		for _, e := range es {
+			if e < 0 {
+				t.Fatalf("negative error for %s", m)
+			}
+		}
+	}
+	summary := st.SummaryByModel()
+	for m, box := range summary {
+		if box.N != 4 || box.Min > box.Median || box.Median > box.Max {
+			t.Fatalf("bad box summary for %s: %+v", m, box)
+		}
+	}
+	maes := st.MeanAbsErrorByModel()
+	best := st.BestModel()
+	for m, mae := range maes {
+		if maes[best] > mae {
+			t.Fatalf("BestModel %s is not best (%v > %v for %s)", best, maes[best], mae, m)
+		}
+	}
+	fw := st.FractionWithin(1000)
+	for m, f := range fw {
+		if f != 1 {
+			t.Fatalf("FractionWithin(1000) for %s = %v, want 1", m, f)
+		}
+	}
+	fw = st.FractionWithin(0)
+	for _, f := range fw {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction outside [0,1]: %v", f)
+		}
+	}
+}
+
+func TestStudyQueueModelAccurateOnSyntheticData(t *testing.T) {
+	// With signatures that match profile points well, the queue model should
+	// be within a few points of the measured values of the fixture.
+	apps, profiles, signatures, measured := fixture(t)
+	st, err := NewStudy(model.All(), apps, profiles, signatures, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maes := st.MeanAbsErrorByModel()
+	if maes["Queue"] > 10 {
+		t.Fatalf("queue model MAE = %v on synthetic data", maes["Queue"])
+	}
+}
+
+func TestStudyPairLookupAndMatrix(t *testing.T) {
+	apps, profiles, signatures, measured := fixture(t)
+	st, err := NewStudy(model.All(), apps, profiles, signatures, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := st.Pair("Cpu", "Comm")
+	if !ok || pp.MeasuredPct != 2 {
+		t.Fatalf("Pair lookup failed: %+v %v", pp, ok)
+	}
+	if _, ok := st.Pair("Cpu", "Nope"); ok {
+		t.Fatal("lookup of unknown pair succeeded")
+	}
+	matrix := st.MeasuredMatrix()
+	if matrix[0][0] != 65 || matrix[0][1] != 12 || matrix[1][0] != 2 || matrix[1][1] != 1 {
+		t.Fatalf("matrix = %v", matrix)
+	}
+}
+
+func TestNewStudyErrors(t *testing.T) {
+	apps, profiles, signatures, measured := fixture(t)
+	if _, err := NewStudy(nil, apps, profiles, signatures, measured); err == nil {
+		t.Fatal("expected error for no models")
+	}
+	if _, err := NewStudy(model.All(), apps, map[string]core.Profile{}, signatures, measured); err == nil ||
+		!strings.Contains(err.Error(), "missing profile") {
+		t.Fatalf("expected missing-profile error, got %v", err)
+	}
+	if _, err := NewStudy(model.All(), apps, profiles, map[string]core.Signature{}, measured); err == nil ||
+		!strings.Contains(err.Error(), "missing signature") {
+		t.Fatalf("expected missing-signature error, got %v", err)
+	}
+	if _, err := NewStudy(model.All(), apps, profiles, signatures, map[Pairing]float64{}); err == nil ||
+		!strings.Contains(err.Error(), "missing measured") {
+		t.Fatalf("expected missing-measured error, got %v", err)
+	}
+}
+
+func TestErrorHelper(t *testing.T) {
+	pp := PairPrediction{
+		Pairing:      Pairing{Target: "A", CoRunner: "B"},
+		MeasuredPct:  10,
+		PredictedPct: map[string]float64{"M": 25},
+	}
+	if pp.Error("M") != 15 {
+		t.Fatalf("Error = %v", pp.Error("M"))
+	}
+	if pp.Error("unknown") != 10 {
+		t.Fatalf("Error for unknown model should compare against 0, got %v", pp.Error("unknown"))
+	}
+}

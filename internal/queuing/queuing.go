@@ -1,0 +1,189 @@
+// Package queuing implements the M/G/1 queueing-theory model of a network
+// switch used by the paper's queue-model predictor (Section IV-B).
+//
+// The switch routing logic is modelled as a single-server queue with general
+// service times.  Its hardware parameters — the mean service rate µ and the
+// service-time variance Var(S) — are calibrated once from probe packets sent
+// through an idle switch.  While an application runs, the ImpactB benchmark
+// measures W, the mean total time probe packets spend in the switch.  The
+// Pollaczek–Khinchine formula relates W to the packet arrival rate λ; this
+// package inverts the formula to recover λ and therefore the switch queue
+// utilization ρ = λ/µ, the scalar metric the predictor uses.
+package queuing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ServiceModel describes the switch hardware as calibrated from an idle
+// switch: the service rate µ (packets per time unit) and the variance of
+// individual packet service times.  Times may be expressed in any unit as
+// long as all quantities use the same one; this package uses seconds.
+type ServiceModel struct {
+	// Mu is the mean service rate µ in packets/second.
+	Mu float64
+	// VarS is the variance of the packet service time S in seconds².
+	VarS float64
+}
+
+// MeanService returns the mean service time µ⁻¹ in seconds.
+func (m ServiceModel) MeanService() float64 { return 1 / m.Mu }
+
+// Validate reports whether the model's parameters are usable.
+func (m ServiceModel) Validate() error {
+	if !(m.Mu > 0) || math.IsInf(m.Mu, 0) || math.IsNaN(m.Mu) {
+		return fmt.Errorf("queuing: invalid service rate µ=%v", m.Mu)
+	}
+	if m.VarS < 0 || math.IsInf(m.VarS, 0) || math.IsNaN(m.VarS) {
+		return fmt.Errorf("queuing: invalid service variance Var(S)=%v", m.VarS)
+	}
+	return nil
+}
+
+// CalibrateFromIdle builds a ServiceModel from latency samples (seconds)
+// gathered by sending isolated probe packets through an idle switch.  The
+// mean idle latency estimates the mean service time µ⁻¹ and the sample
+// variance estimates Var(S).  This mirrors the paper's calibration: "µ is a
+// hardware parameter that is measured by sending multiple individual packets
+// into an idle switch".
+func CalibrateFromIdle(idleLatencies []float64) (ServiceModel, error) {
+	if len(idleLatencies) < 2 {
+		return ServiceModel{}, errors.New("queuing: need at least two idle-switch samples")
+	}
+	mean := 0.0
+	for _, x := range idleLatencies {
+		if x <= 0 {
+			return ServiceModel{}, fmt.Errorf("queuing: non-positive idle latency %v", x)
+		}
+		mean += x
+	}
+	mean /= float64(len(idleLatencies))
+	varSum := 0.0
+	for _, x := range idleLatencies {
+		varSum += (x - mean) * (x - mean)
+	}
+	v := varSum / float64(len(idleLatencies))
+	return ServiceModel{Mu: 1 / mean, VarS: v}, nil
+}
+
+// MG1 is an M/G/1 queue with a calibrated service model and an arrival
+// rate λ.
+type MG1 struct {
+	Service ServiceModel
+	// Lambda is the mean packet arrival rate λ in packets/second.
+	Lambda float64
+}
+
+// Utilization returns ρ = λ/µ.
+func (q MG1) Utilization() float64 { return q.Lambda / q.Service.Mu }
+
+// MeanSojourn returns W, the mean total time a packet spends in the queue
+// (waiting plus service), from the Pollaczek–Khinchine formula:
+//
+//	W = µ⁻¹ + λ (Var(S) + µ⁻²) / (2 (1 − ρ))
+//
+// For ρ >= 1 the queue is unstable and W diverges; +Inf is returned.
+func (q MG1) MeanSojourn() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	mu := q.Service.Mu
+	return 1/mu + q.Lambda*(q.Service.VarS+1/(mu*mu))/(2*(1-rho))
+}
+
+// MeanWait returns the mean time spent waiting before service begins.
+func (q MG1) MeanWait() float64 {
+	w := q.MeanSojourn()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w - q.Service.MeanService()
+}
+
+// MeanQueueLength returns L, the mean number of packets in the system, by
+// Little's law (L = λ·W).
+func (q MG1) MeanQueueLength() float64 {
+	w := q.MeanSojourn()
+	if math.IsInf(w, 1) {
+		return math.Inf(1)
+	}
+	return q.Lambda * w
+}
+
+// InferArrivalRate inverts the Pollaczek–Khinchine formula: given the
+// calibrated service model and the observed mean sojourn time W of probe
+// packets, it returns the arrival rate λ that would produce that W.
+//
+// Derivation (equivalent to the paper's Eq. (3), which suffers from OCR
+// typos in the published text): with A = Var(S) + µ⁻² and D = W − µ⁻¹,
+//
+//	D = λ A / (2 (1 − λ/µ))   ⇒   λ = 2D / (A + 2D/µ)
+//
+// W below the idle service time µ⁻¹ (possible with measurement noise) is
+// clamped to λ = 0.
+func InferArrivalRate(svc ServiceModel, w float64) (float64, error) {
+	if err := svc.Validate(); err != nil {
+		return 0, err
+	}
+	if !(w > 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+		return 0, fmt.Errorf("queuing: invalid mean sojourn time W=%v", w)
+	}
+	d := w - svc.MeanService()
+	if d <= 0 {
+		return 0, nil
+	}
+	a := svc.VarS + 1/(svc.Mu*svc.Mu)
+	lambda := 2 * d / (a + 2*d/svc.Mu)
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > svc.Mu {
+		lambda = svc.Mu
+	}
+	return lambda, nil
+}
+
+// InferUtilization returns ρ = λ/µ where λ is recovered from the observed
+// mean probe sojourn time W.  The result lies in [0, 1); it approaches 1 as
+// W grows without bound.
+func InferUtilization(svc ServiceModel, w float64) (float64, error) {
+	lambda, err := InferArrivalRate(svc, w)
+	if err != nil {
+		return 0, err
+	}
+	rho := lambda / svc.Mu
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	return rho, nil
+}
+
+// UtilizationPercent is InferUtilization scaled to a percentage, the unit the
+// paper reports in Figures 6 and 7.
+func UtilizationPercent(svc ServiceModel, w float64) (float64, error) {
+	rho, err := InferUtilization(svc, w)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * rho, nil
+}
+
+// SojournForUtilization is the forward mapping used in tests and ablations:
+// given a target utilization ρ it returns the mean sojourn time W the P–K
+// formula predicts.
+func SojournForUtilization(svc ServiceModel, rho float64) (float64, error) {
+	if err := svc.Validate(); err != nil {
+		return 0, err
+	}
+	if rho < 0 || rho >= 1 {
+		return 0, fmt.Errorf("queuing: utilization %v outside [0, 1)", rho)
+	}
+	q := MG1{Service: svc, Lambda: rho * svc.Mu}
+	return q.MeanSojourn(), nil
+}

@@ -1,0 +1,293 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// A Cab-like service model: ~1.25 µs mean service, moderate variance.
+func cabService() ServiceModel {
+	mean := 1.25e-6
+	return ServiceModel{Mu: 1 / mean, VarS: (0.4e-6) * (0.4e-6)}
+}
+
+func TestServiceModelValidate(t *testing.T) {
+	if err := cabService().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ServiceModel{
+		{Mu: 0, VarS: 0},
+		{Mu: -1, VarS: 0},
+		{Mu: math.NaN(), VarS: 0},
+		{Mu: math.Inf(1), VarS: 0},
+		{Mu: 1, VarS: -1},
+		{Mu: 1, VarS: math.NaN()},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, m)
+		}
+	}
+}
+
+func TestMeanService(t *testing.T) {
+	m := ServiceModel{Mu: 4, VarS: 0}
+	if m.MeanService() != 0.25 {
+		t.Fatalf("MeanService = %v", m.MeanService())
+	}
+}
+
+func TestCalibrateFromIdle(t *testing.T) {
+	samples := []float64{1.0e-6, 1.2e-6, 1.4e-6, 1.4e-6}
+	m, err := CalibrateFromIdle(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 1.25e-6
+	if !almostEqual(m.MeanService(), wantMean, 1e-12) {
+		t.Fatalf("mean service = %v, want %v", m.MeanService(), wantMean)
+	}
+	if m.VarS <= 0 {
+		t.Fatalf("VarS = %v, want > 0", m.VarS)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateFromIdleErrors(t *testing.T) {
+	if _, err := CalibrateFromIdle([]float64{1e-6}); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+	if _, err := CalibrateFromIdle([]float64{1e-6, -1e-6}); err == nil {
+		t.Fatal("expected error for negative latency")
+	}
+	if _, err := CalibrateFromIdle(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestMG1ZeroLoad(t *testing.T) {
+	q := MG1{Service: cabService(), Lambda: 0}
+	if q.Utilization() != 0 {
+		t.Fatalf("utilization = %v", q.Utilization())
+	}
+	if !almostEqual(q.MeanSojourn(), q.Service.MeanService(), 1e-15) {
+		t.Fatalf("sojourn at zero load = %v, want %v", q.MeanSojourn(), q.Service.MeanService())
+	}
+	if q.MeanWait() != 0 {
+		t.Fatalf("wait at zero load = %v", q.MeanWait())
+	}
+	if q.MeanQueueLength() != 0 {
+		t.Fatalf("queue length at zero load = %v", q.MeanQueueLength())
+	}
+}
+
+func TestMG1MonotoneInLoad(t *testing.T) {
+	svc := cabService()
+	prev := 0.0
+	for i, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		q := MG1{Service: svc, Lambda: rho * svc.Mu}
+		w := q.MeanSojourn()
+		if w <= prev {
+			t.Fatalf("sojourn not increasing at step %d: %v <= %v", i, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	svc := cabService()
+	q := MG1{Service: svc, Lambda: svc.Mu}
+	if !math.IsInf(q.MeanSojourn(), 1) {
+		t.Fatal("sojourn at rho=1 should be +Inf")
+	}
+	if !math.IsInf(q.MeanWait(), 1) || !math.IsInf(q.MeanQueueLength(), 1) {
+		t.Fatal("wait/length at rho=1 should be +Inf")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// With exponential service times Var(S) = 1/µ², P-K reduces to the M/M/1
+	// formula W = 1/(µ-λ).
+	mu := 1e6
+	svc := ServiceModel{Mu: mu, VarS: 1 / (mu * mu)}
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		lambda := rho * mu
+		q := MG1{Service: svc, Lambda: lambda}
+		want := 1 / (mu - lambda)
+		if !almostEqual(q.MeanSojourn(), want, want*1e-9) {
+			t.Fatalf("rho=%v: W=%v want %v", rho, q.MeanSojourn(), want)
+		}
+	}
+}
+
+func TestInferArrivalRateRoundTrip(t *testing.T) {
+	svc := cabService()
+	for _, rho := range []float64{0.05, 0.26, 0.5, 0.75, 0.92} {
+		w, err := SojournForUtilization(svc, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda, err := InferArrivalRate(svc, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLambda := rho * svc.Mu
+		if !almostEqual(lambda, wantLambda, wantLambda*1e-9+1e-9) {
+			t.Fatalf("rho=%v: inferred lambda %v, want %v", rho, lambda, wantLambda)
+		}
+		got, err := InferUtilization(svc, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, rho, 1e-9) {
+			t.Fatalf("round trip utilization %v, want %v", got, rho)
+		}
+	}
+}
+
+func TestInferUtilizationClampsBelowIdle(t *testing.T) {
+	svc := cabService()
+	// Observed latency below the idle service time: utilization clamps to 0.
+	rho, err := InferUtilization(svc, svc.MeanService()*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 0 {
+		t.Fatalf("rho = %v, want 0", rho)
+	}
+}
+
+func TestInferUtilizationApproachesOne(t *testing.T) {
+	svc := cabService()
+	rho, err := InferUtilization(svc, svc.MeanService()*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.95 || rho > 1 {
+		t.Fatalf("rho for huge W = %v, want close to 1", rho)
+	}
+}
+
+func TestInferUtilizationMonotone(t *testing.T) {
+	svc := cabService()
+	prev := -1.0
+	for w := svc.MeanService(); w < svc.MeanService()*50; w *= 1.5 {
+		rho, err := InferUtilization(svc, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho < prev {
+			t.Fatalf("utilization not monotone in W at W=%v", w)
+		}
+		prev = rho
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	svc := cabService()
+	if _, err := InferArrivalRate(ServiceModel{}, 1e-6); err == nil {
+		t.Fatal("expected error for invalid service model")
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := InferArrivalRate(svc, w); err == nil {
+			t.Fatalf("expected error for W=%v", w)
+		}
+	}
+	if _, err := SojournForUtilization(svc, 1.0); err == nil {
+		t.Fatal("expected error for rho=1")
+	}
+	if _, err := SojournForUtilization(svc, -0.1); err == nil {
+		t.Fatal("expected error for negative rho")
+	}
+	if _, err := SojournForUtilization(ServiceModel{}, 0.5); err == nil {
+		t.Fatal("expected error for invalid model")
+	}
+	if _, err := UtilizationPercent(svc, -1); err == nil {
+		t.Fatal("expected error propagated by UtilizationPercent")
+	}
+}
+
+func TestUtilizationPercent(t *testing.T) {
+	svc := cabService()
+	w, err := SojournForUtilization(svc, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct, err := UtilizationPercent(svc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pct, 42, 1e-6) {
+		t.Fatalf("percent = %v, want 42", pct)
+	}
+}
+
+func TestLittleLaw(t *testing.T) {
+	svc := cabService()
+	q := MG1{Service: svc, Lambda: 0.6 * svc.Mu}
+	l := q.MeanQueueLength()
+	if !almostEqual(l, q.Lambda*q.MeanSojourn(), 1e-12) {
+		t.Fatalf("Little's law violated: L=%v lambda*W=%v", l, q.Lambda*q.MeanSojourn())
+	}
+}
+
+// Property: inversion is the exact inverse of the forward P-K formula for any
+// valid service model and utilization.
+func TestInversionRoundTripProperty(t *testing.T) {
+	prop := func(muScaled, varScaled, rhoScaled uint16) bool {
+		mu := 1e5 + float64(muScaled)*10 // 1e5 .. ~7.5e5 packets/s
+		meanS := 1 / mu
+		varS := float64(varScaled) / 65535 * (meanS * meanS) * 4 // 0..4 (mean)^2
+		rho := float64(rhoScaled) / 65536 * 0.98                 // 0 .. 0.98
+		svc := ServiceModel{Mu: mu, VarS: varS}
+		w, err := SojournForUtilization(svc, rho)
+		if err != nil {
+			return false
+		}
+		got, err := InferUtilization(svc, w)
+		if err != nil {
+			return false
+		}
+		return almostEqual(got, rho, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inferred utilization is always within [0, 1] and monotone in W.
+func TestInferredUtilizationBoundsProperty(t *testing.T) {
+	svc := cabService()
+	prop := func(w1Scaled, w2Scaled uint16) bool {
+		base := svc.MeanService()
+		w1 := base * (0.5 + float64(w1Scaled)/1000)
+		w2 := base * (0.5 + float64(w2Scaled)/1000)
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		r1, err1 := InferUtilization(svc, w1)
+		r2, err2 := InferUtilization(svc, w2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1 >= 0 && r2 <= 1 && r1 <= r2+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInferUtilization(b *testing.B) {
+	svc := cabService()
+	w := svc.MeanService() * 3
+	for i := 0; i < b.N; i++ {
+		if _, err := InferUtilization(svc, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+// BarChart renders a horizontal ASCII bar chart: one row per label, bars
+// scaled so the largest value spans width characters.  It is used by the CLI
+// to give a quick visual impression of per-application sensitivities and
+// per-model errors next to the exact tables.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(labels) == 0 || len(labels) != len(values) {
+		return ""
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 && v > 0 {
+			bar = int(math.Round(v / maxVal * float64(width)))
+			if bar == 0 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %s %.1f\n", maxLabel, labels[i], strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}
+
+// BoxChart renders one-line box-and-whisker summaries (min, Q1, median, Q3,
+// max) on a shared scale, one row per label.
+//
+//	AverageLT  |--[=|====]------------------|  med=1.6
+func BoxChart(title string, labels []string, boxes []stats.BoxPlot, width int) string {
+	if len(labels) == 0 || len(labels) != len(boxes) {
+		return ""
+	}
+	if width < 20 {
+		width = 20
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, bx := range boxes {
+		if bx.Max > maxVal {
+			maxVal = bx.Max
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	pos := func(v float64) int {
+		p := int(math.Round(v / maxVal * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (scale 0 .. %.1f)\n", title, maxVal)
+	}
+	for i, bx := range boxes {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		lo, q1, med, q3, hi := pos(bx.Min), pos(bx.Q1), pos(bx.Median), pos(bx.Q3), pos(bx.Max)
+		for j := lo; j <= hi && j < width; j++ {
+			row[j] = '-'
+		}
+		for j := q1; j <= q3 && j < width; j++ {
+			row[j] = '='
+		}
+		row[lo] = '|'
+		row[hi] = '|'
+		row[med] = 'M'
+		fmt.Fprintf(&b, "%-*s  [%s]  med=%.1f\n", maxLabel, labels[i], string(row), bx.Median)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("sensitivity", []string{"FFTW", "MCB"}, []float64{200, 10}, 20)
+	if !strings.Contains(out, "sensitivity") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	fftw, mcb := lines[1], lines[2]
+	if strings.Count(fftw, "#") <= strings.Count(mcb, "#") {
+		t.Fatalf("larger value should have a longer bar:\n%s", out)
+	}
+	if !strings.Contains(fftw, "200.0") || !strings.Contains(mcb, "10.0") {
+		t.Fatalf("values not printed:\n%s", out)
+	}
+	// Non-zero small values still get a visible bar of at least one mark.
+	small := BarChart("", []string{"a", "b"}, []float64{1000, 1}, 30)
+	if !strings.Contains(strings.Split(strings.TrimSpace(small), "\n")[1], "#") {
+		t.Fatalf("small value lost its bar:\n%s", small)
+	}
+}
+
+func TestBarChartDegenerateInputs(t *testing.T) {
+	if BarChart("t", nil, nil, 20) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if BarChart("t", []string{"a"}, []float64{1, 2}, 20) != "" {
+		t.Fatal("mismatched input should render nothing")
+	}
+	// All-zero values must not divide by zero.
+	out := BarChart("t", []string{"a"}, []float64{0}, 20)
+	if !strings.Contains(out, "0.0") {
+		t.Fatalf("zero value chart wrong:\n%s", out)
+	}
+	// Tiny width is clamped.
+	if BarChart("t", []string{"a"}, []float64{5}, 1) == "" {
+		t.Fatal("clamped width should still render")
+	}
+}
+
+func TestBoxChart(t *testing.T) {
+	boxes := []stats.BoxPlot{
+		{Min: 0, Q1: 1, Median: 2, Q3: 5, Max: 50, N: 36},
+		{Min: 0, Q1: 0.5, Median: 1, Q3: 3, Max: 20, N: 36},
+	}
+	out := BoxChart("errors", []string{"AverageLT", "Queue"}, boxes, 40)
+	if !strings.Contains(out, "errors") || !strings.Contains(out, "Queue") {
+		t.Fatalf("box chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "M") || !strings.Contains(l, "=") {
+			t.Fatalf("row missing median/box markers: %q", l)
+		}
+	}
+	if !strings.Contains(lines[0], "50.0") {
+		t.Fatalf("scale annotation missing: %q", lines[0])
+	}
+}
+
+func TestBoxChartDegenerateInputs(t *testing.T) {
+	if BoxChart("t", nil, nil, 40) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if BoxChart("t", []string{"a"}, nil, 40) != "" {
+		t.Fatal("mismatched input should render nothing")
+	}
+	out := BoxChart("t", []string{"a"}, []stats.BoxPlot{{}}, 5)
+	if out == "" {
+		t.Fatal("degenerate box should still render")
+	}
+}

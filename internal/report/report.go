@@ -1,0 +1,213 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// the formats used by the command-line tools and the benchmark harness to
+// regenerate the paper's tables and figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// Table is a rectangular result with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render returns the table as aligned, human-readable text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table (headers plus rows) as CSV.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Fig3Table renders the probe latency distributions (percent of packets per
+// latency bin, one column per workload).
+func Fig3Table(r experiments.Fig3Result) Table {
+	t := Table{
+		Title:   "Figure 3: distribution of ImpactB packet latencies (% of packets per bin)",
+		Headers: append([]string{"latency_us"}, r.Columns...),
+	}
+	for i, center := range r.BinCentersMicros {
+		row := []string{f2(center)}
+		for _, col := range r.Columns {
+			row = append(row, f1(r.FrequencyPct[col][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean_us"}
+	for _, col := range r.Columns {
+		mean = append(mean, f2(r.MeanMicros[col]))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t
+}
+
+// Fig6Table renders the switch utilization of every CompressionB
+// configuration.
+func Fig6Table(r experiments.Fig6Result) Table {
+	t := Table{
+		Title:   "Figure 6: switch queue utilization of CompressionB configurations",
+		Headers: []string{"messages", "sleep_cycles", "partners", "utilization_pct", "mean_latency_us"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Config.Messages),
+			fmt.Sprintf("%.1e", p.Config.SleepCycles),
+			fmt.Sprintf("%d", p.Config.Partners),
+			f1(p.UtilizationPct),
+			f2(p.MeanLatencyMicros),
+		})
+	}
+	return t
+}
+
+// Fig7Table renders the degradation-vs-utilization curves (one row per
+// application and configuration) plus the per-application linear fits.
+func Fig7Table(r experiments.Fig7Result) Table {
+	t := Table{
+		Title:   "Figure 7: % performance degradation vs % switch utilization",
+		Headers: []string{"app", "config", "utilization_pct", "degradation_pct"},
+	}
+	for _, app := range r.Apps {
+		for _, p := range r.Curves[app] {
+			t.Rows = append(t.Rows, []string{
+				app, p.Config.Label(), f1(p.UtilizationPct), f1(p.DegradationPct),
+			})
+		}
+		if fit, ok := r.Fits[app]; ok {
+			t.Rows = append(t.Rows, []string{
+				app, "linear-fit",
+				fmt.Sprintf("slope=%.2f", fit.Slope),
+				fmt.Sprintf("intercept=%.1f r2=%.2f", fit.Intercept, fit.R2),
+			})
+		}
+	}
+	return t
+}
+
+// Table1Table renders the measured co-run slowdown matrix.
+func Table1Table(r experiments.Table1Result) Table {
+	t := Table{
+		Title:   "Table I: measured % slowdown of each application (rows) co-running with each application (columns)",
+		Headers: append([]string{"app"}, r.Apps...),
+	}
+	for i, app := range r.Apps {
+		row := []string{app}
+		for j := range r.Apps {
+			row = append(row, f1(r.SlowdownPct[i][j]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig8Table renders measured vs predicted slowdowns and the absolute error of
+// every model for every ordered pair.
+func Fig8Table(r experiments.Fig8Result) Table {
+	st := r.Study
+	headers := []string{"target", "co_runner", "measured_pct"}
+	for _, m := range st.Models {
+		headers = append(headers, m+"_pred", m+"_err")
+	}
+	t := Table{
+		Title:   "Figure 8: measured vs predicted % slowdowns for all application pairs",
+		Headers: headers,
+	}
+	for _, pp := range st.Pairs {
+		row := []string{pp.Target, pp.CoRunner, f1(pp.MeasuredPct)}
+		for _, m := range st.Models {
+			row = append(row, f1(pp.PredictedPct[m]), f1(pp.Error(m)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig9Table renders the per-model error summary (quartiles, mean absolute
+// error and the fraction of predictions within 10 points).
+func Fig9Table(r experiments.Fig9Result) Table {
+	t := Table{
+		Title:   "Figure 9: prediction error summary per model (|measured - predicted| in percentage points)",
+		Headers: []string{"model", "min", "q1", "median", "q3", "max", "mean_abs_err", "within_10pts"},
+	}
+	for _, m := range r.Models {
+		box := r.Boxes[m]
+		t.Rows = append(t.Rows, []string{
+			m, f1(box.Min), f1(box.Q1), f1(box.Median), f1(box.Q3), f1(box.Max),
+			f1(r.MeanAbsErr[m]),
+			fmt.Sprintf("%.0f%%", 100*r.FractionWithin10[m]),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"best", r.BestModel, "", "", "", "", "", ""})
+	return t
+}
+
+// Summary renders a one-paragraph comparison against the paper's headline
+// claims, used by the CLI after fig9.
+func Summary(r experiments.Fig9Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Best model: %s (mean abs error %.1f points; %.0f%% of predictions within 10 points).\n",
+		r.BestModel, r.MeanAbsErr[r.BestModel], 100*r.FractionWithin10[r.BestModel])
+	fmt.Fprintf(&b, "Paper reference: the queue model achieves <10%% average error with >75%% of predictions within 10 points,\n")
+	fmt.Fprintf(&b, "and outperforms the three look-up-table models (AverageStDevLT ≥ PDFLT > AverageLT).\n")
+	return b.String()
+}
+
+// AppNames returns the canonical application order used by every table.
+func AppNames() []string { return workload.Names() }

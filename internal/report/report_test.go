@@ -1,0 +1,193 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/predict"
+	"github.com/hpcperf/switchprobe/internal/stats"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Headers: []string{"a", "bee", "c"},
+		Rows: [][]string{
+			{"1", "2", "3"},
+			{"10", "200", "3000"},
+		},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bee") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "a,bee,c\n") || !strings.Contains(csv, "10,200,3000") {
+		t.Fatalf("csv output wrong:\n%s", csv)
+	}
+}
+
+func syntheticFig3() experiments.Fig3Result {
+	cols := append([]string{experiments.IdleLabel}, AppNames()...)
+	res := experiments.Fig3Result{
+		BinCentersMicros: []float64{1, 3, 5},
+		Columns:          cols,
+		FrequencyPct:     map[string][]float64{},
+		MeanMicros:       map[string]float64{},
+	}
+	for i, c := range cols {
+		res.FrequencyPct[c] = []float64{70 - float64(i), 20, 10 + float64(i)}
+		res.MeanMicros[c] = 1.2 + 0.3*float64(i)
+	}
+	return res
+}
+
+func TestFig3Table(t *testing.T) {
+	tbl := Fig3Table(syntheticFig3())
+	out := tbl.Render()
+	if !strings.Contains(out, "FFTW") || !strings.Contains(out, "No App") {
+		t.Fatalf("fig3 table missing columns:\n%s", out)
+	}
+	if len(tbl.Rows) != 4 { // 3 bins + mean row
+		t.Fatalf("fig3 rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "mean_us" {
+		t.Fatalf("last row should be the mean row, got %v", tbl.Rows[3])
+	}
+}
+
+func TestFig6Table(t *testing.T) {
+	res := experiments.Fig6Result{Points: []experiments.Fig6Point{
+		{Config: inject.NewConfig(1, 1, 2.5e7), UtilizationPct: 26.3, MeanLatencyMicros: 1.5},
+		{Config: inject.NewConfig(17, 10, 2.5e4), UtilizationPct: 91.8, MeanLatencyMicros: 8.2},
+	}}
+	tbl := Fig6Table(res)
+	out := tbl.Render()
+	if !strings.Contains(out, "91.8") || !strings.Contains(out, "2.5e+04") {
+		t.Fatalf("fig6 table wrong:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig6 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig7Table(t *testing.T) {
+	res := experiments.Fig7Result{
+		Apps: []string{"FFTW"},
+		Curves: map[string][]experiments.Fig7Point{
+			"FFTW": {
+				{Config: inject.NewConfig(1, 1, 2.5e7), UtilizationPct: 30, DegradationPct: 50},
+				{Config: inject.NewConfig(17, 10, 2.5e4), UtilizationPct: 90, DegradationPct: 250},
+			},
+		},
+		Fits: map[string]stats.LinearFit{"FFTW": {Slope: 3.3, Intercept: -50, R2: 0.99}},
+	}
+	tbl := Fig7Table(res)
+	out := tbl.Render()
+	if !strings.Contains(out, "linear-fit") || !strings.Contains(out, "slope=3.30") {
+		t.Fatalf("fig7 table missing fit:\n%s", out)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("fig7 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable1Table(t *testing.T) {
+	res := experiments.Table1Result{
+		Apps:        []string{"FFTW", "MCB"},
+		SlowdownPct: [][]float64{{45, 3}, {3, 4}},
+	}
+	tbl := Table1Table(res)
+	out := tbl.Render()
+	if !strings.Contains(out, "45.0") {
+		t.Fatalf("table1 missing data:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 || len(tbl.Headers) != 3 {
+		t.Fatalf("table1 shape wrong: %dx%d", len(tbl.Rows), len(tbl.Headers))
+	}
+}
+
+func syntheticStudy(t *testing.T) predict.Study {
+	t.Helper()
+	return predict.Study{
+		Apps:   []string{"A", "B"},
+		Models: []string{"AverageLT", "Queue"},
+		Pairs: []predict.PairPrediction{
+			{Pairing: predict.Pairing{Target: "A", CoRunner: "B"}, MeasuredPct: 10,
+				PredictedPct: map[string]float64{"AverageLT": 30, "Queue": 12}},
+			{Pairing: predict.Pairing{Target: "B", CoRunner: "A"}, MeasuredPct: 5,
+				PredictedPct: map[string]float64{"AverageLT": 6, "Queue": 4}},
+		},
+	}
+}
+
+func TestFig8Table(t *testing.T) {
+	tbl := Fig8Table(experiments.Fig8Result{Study: syntheticStudy(t)})
+	out := tbl.Render()
+	if !strings.Contains(out, "AverageLT_pred") || !strings.Contains(out, "Queue_err") {
+		t.Fatalf("fig8 headers wrong:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig8 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig9TableAndSummary(t *testing.T) {
+	st := syntheticStudy(t)
+	res := experiments.Fig9Result{
+		Models:           st.Models,
+		Boxes:            st.SummaryByModel(),
+		MeanAbsErr:       st.MeanAbsErrorByModel(),
+		FractionWithin10: st.FractionWithin(10),
+		BestModel:        st.BestModel(),
+	}
+	tbl := Fig9Table(res)
+	out := tbl.Render()
+	if !strings.Contains(out, "within_10pts") || !strings.Contains(out, "Queue") {
+		t.Fatalf("fig9 table wrong:\n%s", out)
+	}
+	if res.BestModel != "Queue" {
+		t.Fatalf("best model = %s, want Queue", res.BestModel)
+	}
+	sum := Summary(res)
+	if !strings.Contains(sum, "Queue") || !strings.Contains(sum, "Paper reference") {
+		t.Fatalf("summary wrong:\n%s", sum)
+	}
+}
+
+func TestFig3CSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3Table(syntheticFig3()).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 3 bins + mean
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "latency_us,No App,") {
+		t.Fatalf("csv header = %s", lines[0])
+	}
+}
+
+func TestAppNames(t *testing.T) {
+	names := AppNames()
+	if len(names) != 6 || names[0] != "FFTW" {
+		t.Fatalf("app names = %v", names)
+	}
+	pp := core.Profile{App: names[0]}
+	if pp.App != "FFTW" {
+		t.Fatal("unexpected app ordering")
+	}
+}

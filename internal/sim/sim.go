@@ -1,0 +1,470 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock by executing scheduled events in
+// timestamp order.  On top of plain callback events it offers cooperative
+// processes (Proc): lightweight coroutines implemented on goroutines where at
+// most one process runs at any instant, so simulation code needs no locking
+// and is fully deterministic for a fixed seed.
+//
+// The kernel is the substrate for the simulated cluster network, the MPI-like
+// runtime and the application workloads used to reproduce the active
+// measurement methodology of Casas & Bronevetsky (IPDPS 2014).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, expressed in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units (all in virtual nanoseconds).
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1_000
+	Millisecond Duration = 1_000_000
+	Second      Duration = 1_000_000_000
+)
+
+// Seconds returns the duration as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Add returns the time offset by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed between u and t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a floating point number of seconds since the
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// DurationOfSeconds converts a float number of seconds to a Duration.
+func DurationOfSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// DurationOfMicros converts a float number of microseconds to a Duration.
+func DurationOfMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Event is a scheduled callback.  It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing.  Cancelling an event that already
+// fired is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// eventHeap orders events by (time, sequence) so that events scheduled for
+// the same instant fire in scheduling order, keeping runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine.  It is not safe for
+// concurrent use; all interaction must happen from the goroutine driving
+// Run/RunUntil or from code executed by the kernel itself (events and
+// processes).
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	seed    int64
+	procSeq int
+	procs   []*Proc
+	current *Proc
+	// yielded is signalled by the running process when it parks or ends,
+	// returning control to the kernel loop.
+	yielded  chan struct{}
+	live     int
+	shutdown bool
+}
+
+// NewKernel creates a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:    seed,
+		yielded: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the base seed of the kernel's random streams.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// NewRand returns a deterministic random stream identified by name.  Streams
+// with distinct names are independent; the same (seed, name) pair always
+// yields the same sequence.
+func (k *Kernel) NewRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", k.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Pending reports the number of scheduled, non-cancelled events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs reports the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// At schedules fn to run at virtual time t.  Scheduling in the past is
+// clamped to the current time.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Run executes events until the event queue is empty.  It returns the final
+// virtual time.
+func (k *Kernel) Run() Time {
+	for k.step(-1) {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to exactly the deadline.  It returns the final virtual time.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	for k.step(deadline) {
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// RunFor runs the simulation for d of virtual time from the current instant.
+func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
+
+// step executes the next event if there is one and (when deadline >= 0) it
+// does not lie beyond the deadline.  It reports whether an event ran.
+func (k *Kernel) step(deadline Time) bool {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if deadline >= 0 && next.at > deadline {
+			return false
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Shutdown terminates all live processes by unwinding their goroutines.  It
+// must be called from outside the kernel (not from an event or process) and
+// leaves the kernel unusable for further spawns.  It is used to release
+// resources when an experiment window ends before its processes finish.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	// Cancel all pending events so no further work is scheduled.
+	for _, e := range k.events {
+		e.cancelled = true
+	}
+	k.events = k.events[:0]
+	// Unwind every parked process.
+	procs := make([]*Proc, len(k.procs))
+	copy(procs, k.procs)
+	// Kill in reverse spawn order so dependent procs unwind before the
+	// infrastructure they use.
+	sort.SliceStable(procs, func(i, j int) bool { return procs[i].id > procs[j].id })
+	for _, p := range procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.yielded
+	}
+	k.procs = nil
+}
+
+// procKilled is the panic value used to unwind a process during Shutdown.
+type procKilled struct{}
+
+// Proc is a cooperative simulated process.  Its body runs on its own
+// goroutine, but the kernel guarantees that at most one process executes at a
+// time, so process code may freely touch shared simulation state.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	done    bool
+	killed  bool
+	parked  bool // parked via Block and eligible for Wake
+	pending bool // a Wake arrived while the proc was not parked
+	rng     *rand.Rand
+}
+
+// Spawn creates a process named name executing body.  The body starts running
+// at the current virtual time (after already-scheduled events for this
+// instant).
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	if k.shutdown {
+		panic("sim: Spawn after Shutdown")
+	}
+	p := &Proc{
+		k:      k,
+		id:     k.procSeq,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.procSeq++
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// Re-panic on the kernel goroutine would be nicer but we
+					// cannot cross goroutines; make the failure loud instead.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.done = true
+			k.live--
+			k.yielded <- struct{}{}
+		}()
+		if p.killed {
+			panic(procKilled{})
+		}
+		body(p)
+	}()
+	k.At(k.now, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it parks or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := k.current
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.current = prev
+}
+
+// pause parks the calling process and returns control to the kernel.  It
+// returns when the kernel dispatches the process again.
+func (p *Proc) pause() {
+	k := p.k
+	k.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Kernel returns the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process' unique id within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Rand returns a deterministic random stream private to this process.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = p.k.NewRand(fmt.Sprintf("proc/%d/%s", p.id, p.name))
+	}
+	return p.rng
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.At(k.now.Add(d), func() { k.dispatch(p) })
+	p.pause()
+}
+
+// Block parks the process until another component calls Kernel.Wake (or
+// Proc.Wake) for it.  If a wake was delivered while the process was running,
+// Block consumes it and returns immediately.  Typical usage is a condition
+// loop:
+//
+//	for !req.complete {
+//		p.Block()
+//	}
+func (p *Proc) Block() {
+	if p.pending {
+		p.pending = false
+		return
+	}
+	p.parked = true
+	p.pause()
+}
+
+// Wake marks p runnable again.  If p is parked in Block it is scheduled to
+// resume at the current virtual time; otherwise the wake is remembered and
+// the next Block returns immediately.  Waking a finished process is a no-op.
+func (k *Kernel) Wake(p *Proc) {
+	if p == nil || p.done {
+		return
+	}
+	if p.parked {
+		p.parked = false
+		k.At(k.now, func() { k.dispatch(p) })
+		return
+	}
+	p.pending = true
+}
+
+// Wake is a convenience wrapper for Kernel.Wake.
+func (p *Proc) Wake() { p.k.Wake(p) }
+
+// WaitUntil blocks the process until pred() reports true.  The predicate is
+// re-evaluated every time the process is woken.
+func (p *Proc) WaitUntil(pred func() bool) {
+	for !pred() {
+		p.Block()
+	}
+}
+
+// WaitGroup counts outstanding activities and lets a single process wait for
+// them to finish, mirroring sync.WaitGroup in virtual time.
+type WaitGroup struct {
+	count  int
+	waiter *Proc
+}
+
+// Add increments the outstanding-activity count by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the count and wakes the waiter when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+	if w.count == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		p.Wake()
+	}
+}
+
+// Wait blocks p until the counter reaches zero.  Only one process may wait on
+// a WaitGroup at a time.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: concurrent Wait on WaitGroup")
+	}
+	w.waiter = p
+	p.WaitUntil(func() bool { return w.count == 0 })
+	if w.waiter == p {
+		w.waiter = nil
+	}
+}
+
+// Signal is a broadcast condition: processes Wait on it and a later Broadcast
+// wakes all current waiters.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait parks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.Block()
+}
+
+// Broadcast wakes every process currently waiting on the signal.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p.Wake()
+	}
+}
+
+// Waiting reports how many processes are parked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{1500 * Microsecond, "1.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	if got := t0.Add(500); got != Time(1500) {
+		t.Fatalf("Add: got %d want 1500", got)
+	}
+	if got := Time(1500).Sub(t0); got != Duration(500) {
+		t.Fatalf("Sub: got %d want 500", got)
+	}
+	if s := Time(2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds: got %v want 2", s)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if d := DurationOfSeconds(0.5); d != 500*Millisecond {
+		t.Fatalf("DurationOfSeconds(0.5) = %v", d)
+	}
+	if d := DurationOfMicros(2.5); d != 2500 {
+		t.Fatalf("DurationOfMicros(2.5) = %v", d)
+	}
+	if got := (1500 * Microsecond).Micros(); got != 1500 {
+		t.Fatalf("Micros: got %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds: got %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", k.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.At(10, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", k.Pending())
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.At(100, func() {
+		k.At(50, func() { at = k.Now() }) // in the past, should clamp to now
+	})
+	k.Run()
+	if at != 100 {
+		t.Fatalf("past event ran at %d, want 100", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.After(-5, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("After(-5) never ran")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("now = %d, want 0", k.Now())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.At(10, func() { count++ })
+	k.At(200, func() { count++ })
+	k.RunUntil(100)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("now = %d, want 100", k.Now())
+	}
+	k.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	k := NewKernel(1)
+	k.RunFor(500)
+	if k.Now() != 500 {
+		t.Fatalf("now = %d, want 500", k.Now())
+	}
+	k.RunFor(500)
+	if k.Now() != 1000 {
+		t.Fatalf("now = %d, want 1000", k.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel(1)
+	var wake Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(25 * Microsecond)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != Time(25*Microsecond) {
+		t.Fatalf("woke at %d, want %d", wake, 25*Microsecond)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestProcSequencing(t *testing.T) {
+	// Two procs sleeping interleaved must observe a consistent global order.
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, "b20")
+		p.Sleep(20)
+		order = append(order, "b40")
+	})
+	k.Run()
+	want := []string{"a10", "b20", "a30", "b40"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	k := NewKernel(1)
+	var resumed Time
+	p := k.Spawn("waiter", func(p *Proc) {
+		p.Block()
+		resumed = p.Now()
+	})
+	k.At(100, func() { k.Wake(p) })
+	k.Run()
+	if resumed != 100 {
+		t.Fatalf("resumed at %d, want 100", resumed)
+	}
+}
+
+func TestWakeBeforeBlockIsNotLost(t *testing.T) {
+	k := NewKernel(1)
+	done := false
+	var p *Proc
+	p = k.Spawn("w", func(p *Proc) {
+		// The wake below is delivered while this proc is running (same
+		// timestamp, scheduled earlier), i.e. before Block is reached once the
+		// proc sleeps.  It must not be lost.
+		p.Sleep(10)
+		p.Block()
+		done = true
+	})
+	k.At(5, func() { k.Wake(p) })
+	k.Run()
+	if !done {
+		t.Fatal("wake delivered before Block was lost")
+	}
+}
+
+func TestWakeFinishedProcIsNoop(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Spawn("short", func(p *Proc) {})
+	k.Run()
+	k.Wake(p) // must not panic or deadlock
+	k.Run()
+}
+
+func TestWaitUntil(t *testing.T) {
+	k := NewKernel(1)
+	ready := false
+	var seen Time
+	p := k.Spawn("w", func(p *Proc) {
+		p.WaitUntil(func() bool { return ready })
+		seen = p.Now()
+	})
+	// Spurious wake at t=10 (predicate still false), real one at t=50.
+	k.At(10, func() { k.Wake(p) })
+	k.At(50, func() { ready = true; k.Wake(p) })
+	k.Run()
+	if seen != 50 {
+		t.Fatalf("predicate satisfied at %d, want 50", seen)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel(1)
+	var wg WaitGroup
+	var doneAt Time
+	wg.Add(3)
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.At(Time(i*10), func() { wg.Done() })
+	}
+	k.Run()
+	if doneAt != 30 {
+		t.Fatalf("WaitGroup released at %d, want 30", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	k := NewKernel(1)
+	var wg WaitGroup
+	ran := false
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative WaitGroup counter")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	var sig Signal
+	released := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) {
+			sig.Wait(p)
+			released++
+		})
+	}
+	k.At(10, func() {
+		if sig.Waiting() != 4 {
+			t.Errorf("waiting = %d, want 4", sig.Waiting())
+		}
+		sig.Broadcast()
+	})
+	k.Run()
+	if released != 4 {
+		t.Fatalf("released = %d, want 4", released)
+	}
+	if sig.Waiting() != 0 {
+		t.Fatalf("waiting after broadcast = %d", sig.Waiting())
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel(1)
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childAt = c.Now()
+		})
+		p.Sleep(100)
+	})
+	k.Run()
+	if childAt != 15 {
+		t.Fatalf("child finished at %d, want 15", childAt)
+	}
+}
+
+func TestShutdownUnwindsProcs(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 8; i++ {
+		k.Spawn("looper", func(p *Proc) {
+			for {
+				p.Sleep(10)
+			}
+		})
+	}
+	k.RunUntil(1000)
+	if k.LiveProcs() != 8 {
+		t.Fatalf("live = %d, want 8", k.LiveProcs())
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live after shutdown = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestShutdownBeforeFirstDispatch(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.Spawn("never", func(p *Proc) { ran = true })
+	// Do not run the kernel at all: the proc has not had its first dispatch.
+	k.Shutdown()
+	if ran {
+		t.Fatal("process body ran despite shutdown before dispatch")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestSpawnAfterShutdownPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Spawn("x", func(p *Proc) {})
+}
+
+func TestDeterministicRandStreams(t *testing.T) {
+	a1 := NewKernel(42).NewRand("net")
+	a2 := NewKernel(42).NewRand("net")
+	b := NewKernel(42).NewRand("other")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		x, y, z := a1.Int63(), a2.Int63(), b.Int63()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same (seed, name) produced different streams")
+	}
+	if !diff {
+		t.Fatal("different names produced identical streams")
+	}
+}
+
+func TestProcRandDeterministic(t *testing.T) {
+	draw := func() []int64 {
+		k := NewKernel(7)
+		var vals []int64
+		k.Spawn("p", func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				vals = append(vals, p.Rand().Int63())
+			}
+		})
+		k.Run()
+		return vals
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("proc random stream not deterministic across identical runs")
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.At(10, func() {})
+	k.At(20, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	e1.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+// Property: for any set of event offsets, events fire in nondecreasing time
+// order and the final clock equals the maximum offset.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		k := NewKernel(3)
+		var fired []Time
+		var max Time
+		for _, o := range offsets {
+			at := Time(o)
+			if at > max {
+				max = at
+			}
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sleeping a sequence of durations accumulates exactly.
+func TestSleepAccumulationProperty(t *testing.T) {
+	prop := func(steps []uint16) bool {
+		k := NewKernel(5)
+		var total Time
+		var end Time
+		k.Spawn("p", func(p *Proc) {
+			for _, s := range steps {
+				p.Sleep(Duration(s))
+				total += Time(s)
+			}
+			end = p.Now()
+		})
+		k.Run()
+		return end == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEventScheduling(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.At(Time(i), func() {})
+		k.step(-1)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel(1)
+	k.Spawn("switcher", func(p *Proc) {
+		for {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.step(-1)
+	}
+	b.StopTimer()
+	k.Shutdown()
+}

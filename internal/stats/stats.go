@@ -1,0 +1,466 @@
+// Package stats provides the statistical primitives used by the active
+// measurement methodology: online descriptive statistics, fixed-bin latency
+// histograms (empirical PDFs), interval and PDF overlap measures used by the
+// look-up-table models, quantiles and box-plot summaries, and least-squares
+// linear fits used to summarize degradation curves.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects running mean and variance using Welford's algorithm,
+// plus min and max.  The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of samples seen.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// SampleVariance returns the unbiased sample variance.
+func (a *Accumulator) SampleVariance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Var    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	var a Accumulator
+	a.AddAll(xs)
+	return Summary{
+		N:      a.N(),
+		Mean:   a.Mean(),
+		StdDev: a.StdDev(),
+		Var:    a.Variance(),
+		Min:    a.Min(),
+		Max:    a.Max(),
+	}
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return Summarize(xs).StdDev }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks.  It returns 0 for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxPlot summarizes a sample by its quartiles, as used for the per-model
+// error summary of Fig. 9.
+type BoxPlot struct {
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	N      int
+}
+
+// BoxSummary computes the box-plot summary of xs.
+func BoxSummary(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	return BoxPlot{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+		N:      len(xs),
+	}
+}
+
+// String renders the box summary compactly.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f (n=%d)",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+}
+
+// Interval is a closed interval [Lo, Hi] on the real line.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// MeanStdInterval builds the interval [mean-std, mean+std] used by the
+// AverageStDevLT model.
+func MeanStdInterval(mean, std float64) Interval {
+	return Interval{Lo: mean - std, Hi: mean + std}
+}
+
+// Length returns the interval's length (0 for degenerate intervals).
+func (iv Interval) Length() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Overlap returns the length of the intersection of two intervals.
+func (iv Interval) Overlap(other Interval) float64 {
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).  Samples outside the
+// range are clamped into the first/last bin so no probe measurement is lost;
+// this mirrors how the paper reports "packets taking significantly longer"
+// inside the last visible bucket.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, bins)}, nil
+}
+
+// MustHistogram is NewHistogram that panics on invalid parameters; intended
+// for statically-known configurations.
+func MustHistogram(lo, hi float64, bins int) *Histogram {
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.counts)) }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Add folds a sample into the histogram.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.BinWidth())
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// AddAll folds every sample of xs into the histogram.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of samples added.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the raw count of bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Counts returns a copy of the raw bin counts.
+func (h *Histogram) Counts() []int {
+	return append([]int(nil), h.counts...)
+}
+
+// Frequencies returns the fraction of samples per bin (sums to 1 for a
+// non-empty histogram).
+func (h *Histogram) Frequencies() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Densities returns the empirical probability density per bin (frequency
+// divided by bin width), i.e. a piecewise-constant PDF.
+func (h *Histogram) Densities() []float64 {
+	out := h.Frequencies()
+	w := h.BinWidth()
+	for i := range out {
+		out[i] /= w
+	}
+	return out
+}
+
+// Clone returns a deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{Lo: h.Lo, Hi: h.Hi, counts: append([]int(nil), h.counts...), total: h.total}
+	return c
+}
+
+// OverlapProduct computes the integral of the product of the two empirical
+// PDFs, the similarity measure used by the PDFLT model:
+//
+//	∫ f_B(x) f_Ci(x) dx ≈ Σ_bins d_B[i] d_Ci[i] Δx
+//
+// Both histograms must share the same binning.
+func OverlapProduct(a, b *Histogram) (float64, error) {
+	if a.Lo != b.Lo || a.Hi != b.Hi || a.Bins() != b.Bins() {
+		return 0, errors.New("stats: histograms have different binning")
+	}
+	da, db := a.Densities(), b.Densities()
+	w := a.BinWidth()
+	sum := 0.0
+	for i := range da {
+		sum += da[i] * db[i] * w
+	}
+	return sum, nil
+}
+
+// LinearFit holds the result of an ordinary least-squares fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+	N         int
+}
+
+// FitLinear performs an ordinary least-squares fit of ys against xs.  It
+// returns an error when fewer than two points are supplied or all x values
+// coincide.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: need at least two points to fit a line")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate fit, all x values equal")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2, N: n}, nil
+}
+
+// Eval evaluates the fitted line at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// MeanAbsError returns the mean of |a[i]-b[i]|.
+func MeanAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a)), nil
+}
+
+// FractionWithin returns the fraction of |a[i]-b[i]| values that are <= tol.
+func FractionWithin(a, b []float64, tol float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for i := range a {
+		if math.Abs(a[i]-b[i]) <= tol {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a)), nil
+}
+
+// Interpolator performs piecewise-linear interpolation over a set of (x, y)
+// points, extrapolating flat beyond the extremes.  It is used to turn the
+// discrete utilization→degradation measurements of the Compression
+// experiments into the continuous mapping p_A(u) required by the queue-model
+// predictor.
+type Interpolator struct {
+	xs []float64
+	ys []float64
+}
+
+// NewInterpolator builds an interpolator from the given points.  Points are
+// sorted by x; duplicate x values are averaged.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("stats: interpolator needs at least one point")
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	var ux, uy []float64
+	i := 0
+	for i < len(pts) {
+		j := i
+		sum := 0.0
+		for j < len(pts) && pts[j].x == pts[i].x {
+			sum += pts[j].y
+			j++
+		}
+		ux = append(ux, pts[i].x)
+		uy = append(uy, sum/float64(j-i))
+		i = j
+	}
+	return &Interpolator{xs: ux, ys: uy}, nil
+}
+
+// Eval evaluates the interpolant at x.
+func (ip *Interpolator) Eval(x float64) float64 {
+	xs, ys := ip.xs, ip.ys
+	if x <= xs[0] {
+		return ys[0]
+	}
+	n := len(xs)
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if xs[i] == x {
+		return ys[i]
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	frac := (x - x0) / (x1 - x0)
+	return y0 + frac*(y1-y0)
+}
+
+// Domain returns the smallest and largest x of the interpolation points.
+func (ip *Interpolator) Domain() (lo, hi float64) { return ip.xs[0], ip.xs[len(ip.xs)-1] }

@@ -1,0 +1,504 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if !almostEqual(a.Variance(), 4, 1e-12) {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if !almostEqual(a.StdDev(), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !almostEqual(a.SampleVariance(), 4*8.0/7.0, 1e-12) {
+		t.Fatalf("SampleVariance = %v", a.SampleVariance())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", a.Mean(), a.Variance())
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("single sample min/max wrong")
+	}
+}
+
+func TestSummarizeMatchesAccumulator(t *testing.T) {
+	xs := []float64{1.5, 2.5, 3.5, 10, -2}
+	s := Summarize(xs)
+	var a Accumulator
+	a.AddAll(xs)
+	if s.N != a.N() || s.Mean != a.Mean() || s.StdDev != a.StdDev() || s.Min != a.Min() || s.Max != a.Max() {
+		t.Fatalf("Summarize mismatch: %+v", s)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almostEqual(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Fatal("StdDev wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil) != 0")
+	}
+	// Interpolated case.
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	// Input must not be modified.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMedianAndBoxSummary(t *testing.T) {
+	xs := []float64{7, 1, 3, 9, 5}
+	if Median(xs) != 5 {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	b := BoxSummary(xs)
+	if b.Min != 1 || b.Max != 9 || b.Median != 5 || b.N != 5 {
+		t.Fatalf("BoxSummary = %+v", b)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Fatalf("quartiles = %v/%v", b.Q1, b.Q3)
+	}
+	if BoxSummary(nil).N != 0 {
+		t.Fatal("empty box summary should have N=0")
+	}
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{0, 10}
+	cases := []struct {
+		b    Interval
+		want float64
+	}{
+		{Interval{2, 5}, 3},
+		{Interval{-5, 3}, 3},
+		{Interval{8, 20}, 2},
+		{Interval{10, 20}, 0},
+		{Interval{-10, -1}, 0},
+		{Interval{0, 10}, 10},
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Overlap(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlap(a); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Overlap not symmetric for %v", c.b)
+		}
+	}
+	if (Interval{5, 5}).Length() != 0 {
+		t.Fatal("degenerate interval length != 0")
+	}
+	iv := MeanStdInterval(10, 2)
+	if iv.Lo != 8 || iv.Hi != 12 {
+		t.Fatalf("MeanStdInterval = %+v", iv)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := MustHistogram(0, 10, 10)
+	if h.Bins() != 10 || h.BinWidth() != 1 {
+		t.Fatalf("bins=%d width=%v", h.Bins(), h.BinWidth())
+	}
+	h.AddAll([]float64{0.5, 1.5, 1.7, 9.9, -3, 42})
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// -3 clamps into bin 0, 42 clamps into bin 9.
+	if h.Count(0) != 2 {
+		t.Fatalf("bin 0 count = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 2 {
+		t.Fatalf("bin 1 count = %d, want 2", h.Count(1))
+	}
+	if h.Count(9) != 2 {
+		t.Fatalf("bin 9 count = %d, want 2", h.Count(9))
+	}
+	freqs := h.Frequencies()
+	sum := 0.0
+	for _, f := range freqs {
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramDensitiesIntegrateToOne(t *testing.T) {
+	h := MustHistogram(1, 11, 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(1 + rng.Float64()*10)
+	}
+	d := h.Densities()
+	integral := 0.0
+	for _, v := range d {
+		integral += v * h.BinWidth()
+	}
+	if !almostEqual(integral, 1, 1e-9) {
+		t.Fatalf("density integral = %v", integral)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("expected error for 0 bins")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Fatal("expected error for empty range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustHistogram should panic on invalid input")
+		}
+	}()
+	MustHistogram(1, 0, 3)
+}
+
+func TestHistogramCloneIndependence(t *testing.T) {
+	h := MustHistogram(0, 10, 5)
+	h.Add(1)
+	c := h.Clone()
+	c.Add(2)
+	if h.Total() != 1 || c.Total() != 2 {
+		t.Fatalf("clone not independent: %d/%d", h.Total(), c.Total())
+	}
+}
+
+func TestOverlapProduct(t *testing.T) {
+	a := MustHistogram(0, 10, 10)
+	b := MustHistogram(0, 10, 10)
+	// Identical concentrated distributions: overlap = density^2 * width summed
+	// over the single occupied bin = (1/1)^2*1 = 1.
+	a.Add(2.5)
+	b.Add(2.5)
+	got, err := OverlapProduct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("overlap of identical delta = %v", got)
+	}
+	// Disjoint distributions overlap 0.
+	c := MustHistogram(0, 10, 10)
+	c.Add(7.5)
+	got, err = OverlapProduct(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("overlap of disjoint = %v", got)
+	}
+	// Mismatched binning is an error.
+	d := MustHistogram(0, 20, 10)
+	if _, err := OverlapProduct(a, d); err == nil {
+		t.Fatal("expected binning error")
+	}
+}
+
+func TestOverlapProductPrefersCloserDistribution(t *testing.T) {
+	// The PDFLT model relies on the product integral being larger for more
+	// similar distributions.
+	rng := rand.New(rand.NewSource(2))
+	mk := func(mean float64) *Histogram {
+		h := MustHistogram(0, 20, 40)
+		for i := 0; i < 5000; i++ {
+			h.Add(mean + rng.NormFloat64())
+		}
+		return h
+	}
+	target := mk(5)
+	near := mk(5.5)
+	far := mk(12)
+	on, _ := OverlapProduct(target, near)
+	of, _ := OverlapProduct(target, far)
+	if on <= of {
+		t.Fatalf("overlap(near)=%v should exceed overlap(far)=%v", on, of)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	f, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 3, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+	if !almostEqual(f.Eval(10), 23, 1e-12) {
+		t.Fatalf("Eval(10) = %v", f.Eval(10))
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for constant x")
+	}
+}
+
+func TestMeanAbsErrorAndFractionWithin(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 2, 5, 0}
+	mae, err := MeanAbsError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mae, (1+0+2+4)/4.0, 1e-12) {
+		t.Fatalf("MAE = %v", mae)
+	}
+	fw, err := FractionWithin(a, b, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fw, 0.5, 1e-12) {
+		t.Fatalf("FractionWithin = %v", fw)
+	}
+	if _, err := MeanAbsError(a, b[:2]); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := FractionWithin(a, b[:2], 1); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if v, _ := MeanAbsError(nil, nil); v != 0 {
+		t.Fatal("empty MAE != 0")
+	}
+}
+
+func TestInterpolator(t *testing.T) {
+	ip, err := NewInterpolator([]float64{10, 0, 20}, []float64{100, 0, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-5, 0},   // flat extrapolation low
+		{0, 0},    // exact point
+		{5, 50},   // interpolated
+		{10, 100}, // exact point
+		{15, 250}, // interpolated
+		{25, 400}, // flat extrapolation high
+	}
+	for _, c := range cases {
+		if got := ip.Eval(c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	lo, hi := ip.Domain()
+	if lo != 0 || hi != 20 {
+		t.Fatalf("domain = [%v, %v]", lo, hi)
+	}
+}
+
+func TestInterpolatorDuplicateXAveraged(t *testing.T) {
+	ip, err := NewInterpolator([]float64{1, 1, 2}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Eval(1); !almostEqual(got, 15, 1e-12) {
+		t.Fatalf("duplicate x not averaged: %v", got)
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator(nil, nil); err == nil {
+		t.Fatal("expected error for empty points")
+	}
+	if _, err := NewInterpolator([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+// Property: Welford accumulator agrees with the naive two-pass formulas.
+func TestAccumulatorMatchesNaiveProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 8.0
+		}
+		var a Accumulator
+		a.AddAll(xs)
+		mean := Mean(xs)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		naiveVar := varSum / float64(len(xs))
+		return almostEqual(a.Mean(), mean, 1e-6) && almostEqual(a.Variance(), naiveVar, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []int16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		s := Summarize(xs)
+		return v1 <= v2+1e-9 && v1 >= s.Min-1e-9 && v2 <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram frequencies always sum to 1 (non-empty) and counts
+// equal the number of samples.
+func TestHistogramConservationProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		h := MustHistogram(-100, 100, 17)
+		for _, r := range raw {
+			h.Add(float64(r))
+		}
+		if h.Total() != len(raw) {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, f := range h.Frequencies() {
+			sum += f
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interval overlap is symmetric and bounded by each length.
+func TestIntervalOverlapProperty(t *testing.T) {
+	prop := func(a1, a2, b1, b2 int16) bool {
+		ia := Interval{math.Min(float64(a1), float64(a2)), math.Max(float64(a1), float64(a2))}
+		ib := Interval{math.Min(float64(b1), float64(b2)), math.Max(float64(b1), float64(b2))}
+		o1, o2 := ia.Overlap(ib), ib.Overlap(ia)
+		return o1 == o2 && o1 <= ia.Length()+1e-9 && o1 <= ib.Length()+1e-9 && o1 >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interpolator passes through every (deduplicated) input point
+// and stays within [minY, maxY].
+func TestInterpolatorBoundedProperty(t *testing.T) {
+	prop := func(raw []uint8, probe uint8) bool {
+		if len(raw) < 1 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(r)
+		}
+		ip, err := NewInterpolator(xs, ys)
+		if err != nil {
+			return false
+		}
+		s := Summarize(ys)
+		v := ip.Eval(float64(probe) / 4.0)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := MustHistogram(0, 1000, 64)
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i % 1000))
+	}
+}
