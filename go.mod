@@ -1,0 +1,3 @@
+module github.com/hpcperf/switchprobe
+
+go 1.24
