@@ -51,10 +51,14 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 }
 
 // BenchmarkFig3PacketLatencies regenerates the probe-latency distributions of
-// the paper's Fig. 3 (idle switch plus each application).
+// the paper's Fig. 3 (idle switch plus each application).  Unlike the other
+// figure benchmarks it builds a fresh suite every iteration so ns/op measures
+// the full measurement campaign (calibration plus one impact run per
+// application) rather than a cached-artifact lookup; it is the headline
+// simulator-throughput benchmark.
 func BenchmarkFig3PacketLatencies(b *testing.B) {
-	s := sharedSuite(b)
 	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
 		r, err := s.Fig3()
 		if err != nil {
 			b.Fatal(err)
@@ -109,10 +113,12 @@ func BenchmarkFig7DegradationCurves(b *testing.B) {
 }
 
 // BenchmarkTable1PairSlowdowns regenerates the measured co-run slowdown
-// matrix of the paper's Table I.
+// matrix of the paper's Table I.  Like BenchmarkFig3PacketLatencies it builds
+// a fresh suite per iteration so ns/op measures the real co-run campaign
+// (baselines plus every unordered application pair) end to end.
 func BenchmarkTable1PairSlowdowns(b *testing.B) {
-	s := sharedSuite(b)
 	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
 		r, err := s.Table1()
 		if err != nil {
 			b.Fatal(err)

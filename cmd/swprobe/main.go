@@ -60,6 +60,7 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	experiments.ResetSimUsage()
 	for _, name := range wanted {
 		start := time.Now()
 		tbl, extra, err := runOne(suite, name)
@@ -76,6 +77,9 @@ func run(args []string, out *os.File) error {
 				return err
 			}
 		}
+	}
+	if u := experiments.SimUsage(); u.Runs > 0 {
+		fmt.Fprintf(out, "Simulator: %s\n", u)
 	}
 	return nil
 }

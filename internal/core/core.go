@@ -366,8 +366,7 @@ func Calibrate(o Options) (Calibration, error) {
 	if err != nil {
 		return Calibration{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	svc, err := queuing.CalibrateFromIdle(pr.Collector().Latencies())
 	if err != nil {
 		return Calibration{}, err
@@ -447,8 +446,7 @@ func MeasureAppImpact(o Options, cal Calibration, app workload.App) (Signature, 
 	if _, err := launchAppLoop(m, o.MPI, app, app.Name()); err != nil {
 		return Signature{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	return o.signatureFrom(app.Name(), pr.Collector(), &cal)
 }
 
@@ -467,8 +465,7 @@ func MeasureInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signa
 	if _, err := inject.Launch(m, o.MPI, cfg); err != nil {
 		return Signature{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	return o.signatureFrom(cfg.Label(), pr.Collector(), &cal)
 }
 
@@ -483,8 +480,7 @@ func MeasureAppBaseline(o Options, app workload.App) (Runtime, error) {
 	if err != nil {
 		return Runtime{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	return ar.runtime(o)
 }
 
@@ -503,8 +499,7 @@ func MeasureAppUnderInjector(o Options, app workload.App, cfg inject.Config) (Ru
 	if err != nil {
 		return Runtime{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	return ar.runtime(o)
 }
 
@@ -528,8 +523,7 @@ func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error
 	if err != nil {
 		return Runtime{}, Runtime{}, err
 	}
-	k.RunUntil(sim.Time(o.Window))
-	k.Shutdown()
+	runWindow(k, o.Window)
 	ra, err := runA.runtime(o)
 	if err != nil {
 		return Runtime{}, Runtime{}, err

@@ -157,6 +157,9 @@ func TestInjectorUtilizationOrdering(t *testing.T) {
 }
 
 func TestAppBaselineAndSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full baseline+signature campaign is slow; skipped in -short mode")
+	}
 	o := TestOptions()
 	cal, err := Calibrate(o)
 	if err != nil {
@@ -188,6 +191,9 @@ func TestAppBaselineAndSignature(t *testing.T) {
 }
 
 func TestCompressionDegradationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compression campaign is slow; skipped in -short mode")
+	}
 	o := TestOptions()
 	fftw := workload.NewFFTW(o.Scale)
 	mcb := workload.NewMCB(o.Scale)
@@ -220,6 +226,9 @@ func TestCompressionDegradationOrdering(t *testing.T) {
 }
 
 func TestMeasureAppPairSelfCoRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-run campaign is slow; skipped in -short mode")
+	}
 	o := TestOptions()
 	fftw := workload.NewFFTW(o.Scale)
 	base, err := MeasureAppBaseline(o, fftw)
@@ -243,6 +252,9 @@ func TestMeasureAppPairSelfCoRun(t *testing.T) {
 }
 
 func TestBuildProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile campaign is slow; skipped in -short mode")
+	}
 	o := TestOptions()
 	cal, err := Calibrate(o)
 	if err != nil {

@@ -7,6 +7,9 @@ import (
 )
 
 func TestPhaseUtilizationsInSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase-resolved campaign is slow; skipped in -short mode")
+	}
 	o := TestOptions()
 	cal, err := Calibrate(o)
 	if err != nil {

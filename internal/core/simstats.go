@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// SimUsage aggregates the kernel activity counters (sim.Kernel.Stats) of
+// every measurement run executed by this package since the last Reset, plus
+// the virtual and wall time those runs covered.  Runs execute in parallel
+// across workers, so WallNS is the summed per-run wall time, not elapsed
+// time; EventsPerSecond is therefore the mean single-run simulator
+// throughput.
+type SimUsage struct {
+	Runs            int64
+	EventsScheduled int64
+	EventsFired     int64
+	EventsCancelled int64
+	PoolReuses      int64
+	FastPathEvents  int64
+	ProcSwitches    int64
+	VirtualNS       int64
+	WallNS          int64
+}
+
+// EventsPerSecond returns the mean events-per-wall-second throughput of one
+// simulation run.
+func (u SimUsage) EventsPerSecond() float64 {
+	if u.WallNS <= 0 {
+		return 0
+	}
+	return float64(u.EventsFired) / (float64(u.WallNS) / 1e9)
+}
+
+// RealTimeFactor returns how much faster than real time the simulated clock
+// advanced (virtual seconds per wall second of simulation).
+func (u SimUsage) RealTimeFactor() float64 {
+	if u.WallNS <= 0 {
+		return 0
+	}
+	return float64(u.VirtualNS) / float64(u.WallNS)
+}
+
+// String renders the usage as a one-line summary suitable for CLI output.
+func (u SimUsage) String() string {
+	pooledPct, fastPct := 0.0, 0.0
+	if u.EventsScheduled > 0 {
+		pooledPct = 100 * float64(u.PoolReuses) / float64(u.EventsScheduled)
+		fastPct = 100 * float64(u.FastPathEvents) / float64(u.EventsScheduled)
+	}
+	return fmt.Sprintf(
+		"%d runs, %.2fM events fired (%.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM events/s/run, %.1fx real time",
+		u.Runs, float64(u.EventsFired)/1e6, pooledPct, fastPct,
+		float64(u.ProcSwitches)/1e6, u.EventsPerSecond()/1e6, u.RealTimeFactor())
+}
+
+// simUsage is the process-wide accumulator.  Measurement runs execute
+// concurrently (experiments fan out over a worker pool), so it is updated
+// with atomics.
+var simUsage struct {
+	runs            atomic.Int64
+	eventsScheduled atomic.Int64
+	eventsFired     atomic.Int64
+	eventsCancelled atomic.Int64
+	poolReuses      atomic.Int64
+	fastPathEvents  atomic.Int64
+	procSwitches    atomic.Int64
+	virtualNS       atomic.Int64
+	wallNS          atomic.Int64
+}
+
+// recordRun folds one finished kernel's counters into the accumulator.
+func recordRun(k *sim.Kernel, wall time.Duration) {
+	st := k.Stats()
+	simUsage.runs.Add(1)
+	simUsage.eventsScheduled.Add(int64(st.EventsScheduled))
+	simUsage.eventsFired.Add(int64(st.EventsFired))
+	simUsage.eventsCancelled.Add(int64(st.EventsCancelled))
+	simUsage.poolReuses.Add(int64(st.PoolReuses))
+	simUsage.fastPathEvents.Add(int64(st.FastPathEvents))
+	simUsage.procSwitches.Add(int64(st.ProcSwitches))
+	simUsage.virtualNS.Add(int64(k.Now()))
+	simUsage.wallNS.Add(wall.Nanoseconds())
+}
+
+// SimUsageSnapshot returns the accumulated kernel activity of all measurement
+// runs so far.
+func SimUsageSnapshot() SimUsage {
+	return SimUsage{
+		Runs:            simUsage.runs.Load(),
+		EventsScheduled: simUsage.eventsScheduled.Load(),
+		EventsFired:     simUsage.eventsFired.Load(),
+		EventsCancelled: simUsage.eventsCancelled.Load(),
+		PoolReuses:      simUsage.poolReuses.Load(),
+		FastPathEvents:  simUsage.fastPathEvents.Load(),
+		ProcSwitches:    simUsage.procSwitches.Load(),
+		VirtualNS:       simUsage.virtualNS.Load(),
+		WallNS:          simUsage.wallNS.Load(),
+	}
+}
+
+// ResetSimUsage clears the accumulator (used by tests and by CLI runs that
+// want per-campaign numbers).
+func ResetSimUsage() {
+	simUsage.runs.Store(0)
+	simUsage.eventsScheduled.Store(0)
+	simUsage.eventsFired.Store(0)
+	simUsage.eventsCancelled.Store(0)
+	simUsage.poolReuses.Store(0)
+	simUsage.fastPathEvents.Store(0)
+	simUsage.procSwitches.Store(0)
+	simUsage.virtualNS.Store(0)
+	simUsage.wallNS.Store(0)
+}
+
+// runWindow drives one measurement kernel to the end of its window, shuts it
+// down and records its activity counters.
+func runWindow(k *sim.Kernel, window sim.Duration) {
+	start := time.Now()
+	k.RunUntil(sim.Time(window))
+	k.Shutdown()
+	recordRun(k, time.Since(start))
+}

@@ -172,6 +172,16 @@ func NewSuite(cfg Config) *Suite {
 // Config returns the suite's configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// SimUsage returns the aggregated discrete-event kernel activity (events
+// fired, pool reuses, fast-path hits, throughput) of every measurement run
+// executed in this process, letting callers such as cmd/swprobe report
+// simulator throughput alongside the experiment results.
+func SimUsage() core.SimUsage { return core.SimUsageSnapshot() }
+
+// ResetSimUsage clears the aggregated kernel counters so the next campaign
+// reports its own numbers.
+func ResetSimUsage() { core.ResetSimUsage() }
+
 // runParallel executes n independent tasks on a bounded worker pool and
 // returns the first error encountered (all tasks still run to completion).
 func (s *Suite) runParallel(n int, task func(i int) error) error {

@@ -172,8 +172,9 @@ func (in *Injector) run(r *mpisim.Rank, tasksPerNode int) {
 	if partners < 1 {
 		partners = 1
 	}
+	reqs := make([]*mpisim.Request, 0, 2*partners*in.cfg.Messages)
 	for {
-		var reqs []*mpisim.Request
+		reqs = reqs[:0]
 		for partner := 0; partner < partners; partner++ {
 			for mesg := 0; mesg < in.cfg.Messages; mesg++ {
 				tag := partner*in.cfg.Messages + mesg

@@ -57,16 +57,28 @@ type Status struct {
 	Size   int
 }
 
-// Request is the handle of a non-blocking operation.
+// Request is the handle of a non-blocking operation.  Requests are pooled
+// per rank: Wait and WaitAll recycle every request passed to them when they
+// return, so a request must not be touched after it has been waited on (read
+// the Status that Wait returns instead), and the same request must not be
+// passed to a wait twice.
 type Request struct {
 	done    bool
 	status  Status
 	waiter  *sim.Proc
 	counter *waitCounter
+	// src/tag are the matching pattern of a posted receive, embedded here so
+	// posting a receive costs one allocation, not two.
+	src, tag int
 }
 
-// waitCounter lets WaitAll park its process until a whole batch of requests
-// has completed, waking it exactly once instead of once per request.
+// waitCounter batches the completions of a whole set of requests into a
+// single wake: Wait and WaitAll charge every still-pending request to the
+// rank's counter, and only the completion that drops it to zero wakes the
+// process.  A collective step waiting on 2·window exchanges therefore wakes
+// the kernel once, not once per request.  Each rank owns one reusable
+// counter (a rank can only wait on one batch at a time), so waiting
+// allocates nothing.
 type waitCounter struct {
 	remaining int
 	proc      *sim.Proc
@@ -88,12 +100,12 @@ func (r *Request) complete(st Status) {
 	if r.waiter != nil {
 		r.waiter.Wake()
 	}
-	if r.counter != nil {
-		r.counter.remaining--
-		if r.counter.remaining == 0 && r.counter.proc != nil {
-			r.counter.proc.Wake()
-		}
+	if c := r.counter; c != nil {
 		r.counter = nil
+		c.remaining--
+		if c.remaining == 0 && c.proc != nil {
+			c.proc.Wake()
+		}
 	}
 }
 
@@ -116,7 +128,7 @@ type envelope struct {
 }
 
 // rendezvousState links the two requests of an in-flight rendezvous
-// transfer.
+// transfer.  Pooled per world.
 type rendezvousState struct {
 	env     envelope
 	sendReq *Request
@@ -135,6 +147,17 @@ type World struct {
 
 	seq        int64
 	rendezvous map[int64]*rendezvousState
+
+	// Free lists and pre-bound callbacks for the message hot path: every
+	// network or intra-node completion is scheduled through one of these with
+	// a pooled envelope (or rendezvous state) as argument, so the runtime's
+	// steady-state messaging allocates neither closures nor envelopes.
+	envFree      []*envelope
+	rvFree       []*rendezvousState
+	arriveNetFn  func(sim.Time, any)
+	arriveKernFn func(any)
+	rvDoneNetFn  func(sim.Time, any)
+	rvDoneKernFn func(any)
 
 	launched    bool
 	finished    int
@@ -165,7 +188,46 @@ func NewWorld(m *cluster.Machine, job *cluster.Job, cfg Config) (*World, error) 
 	for i := 0; i < job.Size(); i++ {
 		w.ranks = append(w.ranks, &Rank{w: w, rank: i})
 	}
+	w.arriveNetFn = func(_ sim.Time, a any) { w.arriveEnv(a.(*envelope)) }
+	w.arriveKernFn = func(a any) { w.arriveEnv(a.(*envelope)) }
+	w.rvDoneNetFn = func(_ sim.Time, a any) { w.rendezvousDone(a.(*rendezvousState)) }
+	w.rvDoneKernFn = func(a any) { w.rendezvousDone(a.(*rendezvousState)) }
 	return w, nil
+}
+
+// getEnv serves a pooled envelope holding env's contents.
+func (w *World) getEnv(env envelope) *envelope {
+	if l := len(w.envFree); l > 0 {
+		e := w.envFree[l-1]
+		w.envFree = w.envFree[:l-1]
+		*e = env
+		return e
+	}
+	e := new(envelope)
+	*e = env
+	return e
+}
+
+// arriveEnv delivers a pooled envelope and recycles it.
+func (w *World) arriveEnv(e *envelope) {
+	env := *e
+	w.envFree = append(w.envFree, e)
+	w.arrive(env)
+}
+
+// getRendezvous serves a pooled rendezvous state.
+func (w *World) getRendezvous(env envelope, sendReq *Request) *rendezvousState {
+	var st *rendezvousState
+	if l := len(w.rvFree); l > 0 {
+		st = w.rvFree[l-1]
+		w.rvFree = w.rvFree[:l-1]
+	} else {
+		st = new(rendezvousState)
+	}
+	st.env = env
+	st.sendReq = sendReq
+	st.recvReq = nil
+	return st
 }
 
 // MustNewWorld is NewWorld that panics on error.
@@ -236,16 +298,31 @@ type Rank struct {
 	proc *sim.Proc
 
 	unexpected []envelope
-	posted     []*postedRecv
+	// posted holds receives posted before their message arrived; the
+	// matching pattern lives on the Request itself.
+	posted []*Request
+
+	// wc is the rank's reusable completion-batch counter (see waitCounter).
+	wc waitCounter
+	// reqFree is the rank's request free list; Wait/WaitAll feed it.
+	reqFree []*Request
 
 	collSeq int64
 }
 
-// postedRecv is a receive posted before its message arrived.
-type postedRecv struct {
-	src, tag int
-	req      *Request
+// newRequest serves a request, preferring the rank's free list.
+func (r *Rank) newRequest(src, tag int) *Request {
+	if l := len(r.reqFree); l > 0 {
+		req := r.reqFree[l-1]
+		r.reqFree = r.reqFree[:l-1]
+		*req = Request{src: src, tag: tag}
+		return req
+	}
+	return &Request{src: src, tag: tag}
 }
+
+// recycleRequest returns a finished request to the rank's free list.
+func (r *Rank) recycleRequest(req *Request) { r.reqFree = append(r.reqFree, req) }
 
 // Rank returns the rank index within the world.
 func (r *Rank) Rank() int { return r.rank }
@@ -296,15 +373,14 @@ func (r *Rank) Isend(dst, tag, size int) *Request {
 	w.bytesSent += int64(size)
 	w.seq++
 	env := envelope{src: r.rank, dst: dst, tag: tag, size: size, seq: w.seq}
-	req := &Request{}
+	req := r.newRequest(0, 0)
 
 	srcNode, dstNode := w.nodeOf[r.rank], w.nodeOf[dst]
 	if srcNode == dstNode {
 		// Shared-memory path: the sender buffers the message immediately and
 		// the payload appears at the receiver after the copy latency.
 		env.kind = kindEager
-		delay := w.intraNodeDelay(size)
-		w.m.Kernel().After(delay, func() { w.arrive(env) })
+		w.m.Kernel().Call(w.intraNodeDelay(size), w.arriveKernFn, w.getEnv(env))
 		req.complete(Status{Source: r.rank, Tag: tag, Size: size})
 		return req
 	}
@@ -312,10 +388,7 @@ func (r *Rank) Isend(dst, tag, size int) *Request {
 	flow := netsim.Flow{Class: w.name, ID: r.rank}
 	if size <= w.cfg.EagerThreshold {
 		env.kind = kindEager
-		envCopy := env
-		if err := w.m.Network().SendMessage(srcNode, dstNode, size, flow, func(sim.Time) {
-			w.arrive(envCopy)
-		}); err != nil {
+		if err := w.m.Network().SendMessageCall(srcNode, dstNode, size, flow, w.arriveNetFn, w.getEnv(env)); err != nil {
 			panic(fmt.Sprintf("mpisim: eager send failed: %v", err))
 		}
 		// Eager sends complete locally as soon as the payload is buffered.
@@ -325,11 +398,8 @@ func (r *Rank) Isend(dst, tag, size int) *Request {
 
 	// Rendezvous: request-to-send first, payload only after clear-to-send.
 	env.kind = kindRTS
-	w.rendezvous[env.seq] = &rendezvousState{env: env, sendReq: req}
-	envCopy := env
-	if err := w.m.Network().SendMessage(srcNode, dstNode, w.cfg.ControlBytes, flow, func(sim.Time) {
-		w.arrive(envCopy)
-	}); err != nil {
+	w.rendezvous[env.seq] = w.getRendezvous(env, req)
+	if err := w.m.Network().SendMessageCall(srcNode, dstNode, w.cfg.ControlBytes, flow, w.arriveNetFn, w.getEnv(env)); err != nil {
 		panic(fmt.Sprintf("mpisim: RTS send failed: %v", err))
 	}
 	return req
@@ -341,7 +411,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 	if src != AnySource {
 		r.checkRank(src)
 	}
-	req := &Request{}
+	req := r.newRequest(src, tag)
 	// Try to match an already-arrived message first.
 	for i, env := range r.unexpected {
 		if matches(src, tag, env) {
@@ -350,7 +420,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 			return req
 		}
 	}
-	r.posted = append(r.posted, &postedRecv{src: src, tag: tag, req: req})
+	r.posted = append(r.posted, req)
 	return req
 }
 
@@ -376,7 +446,7 @@ func (r *Rank) acceptMatched(env envelope, req *Request) {
 		// reaches the sender.
 		st := w.rendezvous[env.seq]
 		if st == nil {
-			st = &rendezvousState{env: env}
+			st = w.getRendezvous(env, nil)
 			w.rendezvous[env.seq] = st
 		}
 		st.recvReq = req
@@ -384,12 +454,10 @@ func (r *Rank) acceptMatched(env envelope, req *Request) {
 		srcNode, dstNode := w.nodeOf[cts.src], w.nodeOf[cts.dst]
 		flow := netsim.Flow{Class: w.name, ID: cts.src}
 		if srcNode == dstNode {
-			w.m.Kernel().After(w.intraNodeDelay(w.cfg.ControlBytes), func() { w.arrive(cts) })
+			w.m.Kernel().Call(w.intraNodeDelay(w.cfg.ControlBytes), w.arriveKernFn, w.getEnv(cts))
 			return
 		}
-		if err := w.m.Network().SendMessage(srcNode, dstNode, w.cfg.ControlBytes, flow, func(sim.Time) {
-			w.arrive(cts)
-		}); err != nil {
+		if err := w.m.Network().SendMessageCall(srcNode, dstNode, w.cfg.ControlBytes, flow, w.arriveNetFn, w.getEnv(cts)); err != nil {
 			panic(fmt.Sprintf("mpisim: CTS send failed: %v", err))
 		}
 	default:
@@ -402,10 +470,10 @@ func (w *World) arrive(env envelope) {
 	switch env.kind {
 	case kindEager, kindRTS:
 		dst := w.ranks[env.dst]
-		for i, pr := range dst.posted {
-			if matches(pr.src, pr.tag, env) {
+		for i, req := range dst.posted {
+			if matches(req.src, req.tag, env) {
 				dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
-				dst.acceptMatched(env, pr.req)
+				dst.acceptMatched(env, req)
 				return
 			}
 		}
@@ -419,22 +487,30 @@ func (w *World) arrive(env envelope) {
 		data := st.env
 		srcNode, dstNode := w.nodeOf[data.src], w.nodeOf[data.dst]
 		flow := netsim.Flow{Class: w.name, ID: data.src}
-		complete := func(sim.Time) {
-			delete(w.rendezvous, env.seq)
-			if st.sendReq != nil {
-				st.sendReq.complete(Status{Source: data.src, Tag: data.tag, Size: data.size})
-			}
-			if st.recvReq != nil {
-				st.recvReq.complete(Status{Source: data.src, Tag: data.tag, Size: data.size})
-			}
-		}
 		if srcNode == dstNode {
-			w.m.Kernel().After(w.intraNodeDelay(data.size), func() { complete(w.m.Kernel().Now()) })
+			w.m.Kernel().Call(w.intraNodeDelay(data.size), w.rvDoneKernFn, st)
 			return
 		}
-		if err := w.m.Network().SendMessage(srcNode, dstNode, data.size, flow, complete); err != nil {
+		if err := w.m.Network().SendMessageCall(srcNode, dstNode, data.size, flow, w.rvDoneNetFn, st); err != nil {
 			panic(fmt.Sprintf("mpisim: rendezvous data send failed: %v", err))
 		}
+	}
+}
+
+// rendezvousDone finishes a rendezvous transfer once its payload has been
+// delivered: both sides' requests complete and the state is recycled.
+func (w *World) rendezvousDone(st *rendezvousState) {
+	data := st.env
+	delete(w.rendezvous, data.seq)
+	sendReq, recvReq := st.sendReq, st.recvReq
+	st.sendReq, st.recvReq = nil, nil
+	w.rvFree = append(w.rvFree, st)
+	status := Status{Source: data.src, Tag: data.tag, Size: data.size}
+	if sendReq != nil {
+		sendReq.complete(status)
+	}
+	if recvReq != nil {
+		recvReq.complete(status)
 	}
 }
 
@@ -444,27 +520,41 @@ func (w *World) intraNodeDelay(size int) sim.Duration {
 	return cfg.IntraNodeLatency + sim.Duration(float64(size)/cfg.IntraNodeBandwidth*float64(sim.Second))
 }
 
-// Wait blocks until the request completes and returns its status.
+// Wait blocks until the request completes and returns its status.  The
+// request is recycled and must not be used afterwards.
 func (r *Rank) Wait(req *Request) Status {
-	req.waiter = r.proc
-	r.proc.WaitUntil(func() bool { return req.done })
-	req.waiter = nil
-	return req.status
+	if !req.done {
+		req.waiter = r.proc
+		for !req.done {
+			r.proc.Block()
+		}
+		req.waiter = nil
+	}
+	st := req.status
+	r.recycleRequest(req)
+	return st
 }
 
-// WaitAll blocks until every request completes.
+// WaitAll blocks until every request completes, waking the process exactly
+// once when the last outstanding request finishes.  The requests are
+// recycled and must not be used afterwards.
 func (r *Rank) WaitAll(reqs ...*Request) {
-	counter := &waitCounter{proc: r.proc}
+	c := &r.wc
+	c.remaining = 0
+	c.proc = r.proc
 	for _, req := range reqs {
 		if !req.done {
-			counter.remaining++
-			req.counter = counter
+			c.remaining++
+			req.counter = c
 		}
 	}
-	if counter.remaining == 0 {
-		return
+	for c.remaining > 0 {
+		r.proc.Block()
 	}
-	r.proc.WaitUntil(func() bool { return counter.remaining == 0 })
+	c.proc = nil
+	for _, req := range reqs {
+		r.recycleRequest(req)
+	}
 }
 
 // Send is a blocking send (Isend + Wait).
@@ -478,8 +568,9 @@ func (r *Rank) Recv(src, tag int) Status { return r.Wait(r.Irecv(src, tag)) }
 func (r *Rank) SendRecv(dst, sendTag, size, src, recvTag int) Status {
 	sreq := r.Isend(dst, sendTag, size)
 	rreq := r.Irecv(src, recvTag)
-	r.WaitAll(sreq, rreq)
-	return rreq.status
+	st := r.Wait(rreq)
+	r.Wait(sreq)
+	return st
 }
 
 // --- Collectives -----------------------------------------------------------

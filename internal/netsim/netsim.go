@@ -123,7 +123,9 @@ type Delivery struct {
 // Latency returns the packet's one-way latency.
 func (d Delivery) Latency() sim.Duration { return d.Arrived.Sub(d.Sent) }
 
-// packet is the unit of transfer inside the simulator.
+// packet is the unit of transfer inside the simulator.  Packets are drawn
+// from a per-network free list and recycled after delivery, so steady-state
+// traffic allocates nothing.
 type packet struct {
 	src, dst  int
 	size      int
@@ -133,16 +135,46 @@ type packet struct {
 	msg       *messageState
 }
 
-// messageState tracks the remaining packets of a segmented message.
+// messageState tracks the remaining packets of a segmented message.  Pooled
+// like packets.  Completion is reported either through onComplete (a closure)
+// or through the allocation-free (fnArg, arg) pair; at most one is set.
 type messageState struct {
 	remaining  int
 	onComplete func(sim.Time)
+	fnArg      func(sim.Time, any)
+	arg        any
+}
+
+// pktQueue is a FIFO of packets that reuses its backing array: popping
+// advances a head index instead of reslicing, and the buffer rewinds once
+// drained, so a steady flow of packets touches the allocator only while the
+// queue's high-water mark grows.
+type pktQueue struct {
+	buf  []*packet
+	head int
+}
+
+func (q *pktQueue) push(p *packet) { q.buf = append(q.buf, p) }
+
+func (q *pktQueue) empty() bool { return q.head == len(q.buf) }
+
+func (q *pktQueue) front() *packet { return q.buf[q.head] }
+
+func (q *pktQueue) pop() *packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
 }
 
 // flowQueue is one per-flow FIFO at a node's NIC.
 type flowQueue struct {
-	flow    Flow
-	packets []*packet
+	flow Flow
+	q    pktQueue
 }
 
 // nic models a node's network interface: per-flow queues drained round-robin
@@ -160,7 +192,7 @@ type nic struct {
 // egressPort models one switch output port and its downlink.
 type egressPort struct {
 	node     int
-	queue    []*packet
+	queue    pktQueue
 	buffered int
 	busy     bool
 	busyNS   sim.Duration
@@ -180,6 +212,19 @@ type Network struct {
 
 	observers []func(Delivery)
 
+	// Free lists and scratch space for the per-packet pipeline.
+	pktFree []*packet
+	msgFree []*messageState
+	blocked []*egressPort // scratch for tryStartUplink's blocked-port scan
+
+	// Pipeline-stage callbacks bound once at construction; every per-packet
+	// event is scheduled through sim.Kernel.Call with one of these, so no
+	// closures are allocated on the hot path.
+	uplinkDoneFn    func(any)
+	enqueueEgressFn func(any)
+	egressDoneFn    func(any)
+	deliverFn       func(any)
+
 	// Statistics.
 	packetsDelivered int64
 	bytesDelivered   int64
@@ -198,11 +243,60 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		rng:          k.NewRand("netsim"),
 		bytesByClass: make(map[string]int64),
 	}
+	queueCap := 16
+	if cfg.EgressBufferBytes > 0 {
+		if c := cfg.EgressBufferBytes/cfg.MTU + 1; c > queueCap {
+			queueCap = c
+		}
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.nics = append(n.nics, &nic{node: i, byFlow: make(map[Flow]*flowQueue)})
-		n.egress = append(n.egress, &egressPort{node: i, waiting: make(map[*nic]bool)})
+		n.egress = append(n.egress, &egressPort{
+			node:    i,
+			queue:   pktQueue{buf: make([]*packet, 0, queueCap)},
+			waiting: make(map[*nic]bool),
+		})
 	}
+	n.uplinkDoneFn = func(a any) { n.uplinkDone(a.(*packet)) }
+	n.enqueueEgressFn = func(a any) { n.enqueueEgress(a.(*packet)) }
+	n.egressDoneFn = func(a any) { n.egressDone(a.(*packet)) }
+	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
 	return n, nil
+}
+
+// getPacket serves a packet struct, preferring the free list.
+func (n *Network) getPacket() *packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree = n.pktFree[:l-1]
+		return p
+	}
+	return &packet{}
+}
+
+// putPacket recycles a delivered packet.
+func (n *Network) putPacket(p *packet) {
+	p.onDeliver = nil
+	p.msg = nil
+	n.pktFree = append(n.pktFree, p)
+}
+
+// getMessageState serves a message tracker, preferring the free list.
+func (n *Network) getMessageState() *messageState {
+	if l := len(n.msgFree); l > 0 {
+		ms := n.msgFree[l-1]
+		n.msgFree = n.msgFree[:l-1]
+		return ms
+	}
+	return &messageState{}
+}
+
+// putMessageState recycles a finished message tracker.
+func (n *Network) putMessageState(ms *messageState) {
+	ms.onComplete = nil
+	ms.fnArg = nil
+	ms.arg = nil
+	n.msgFree = append(n.msgFree, ms)
 }
 
 // MustNew is New that panics on configuration errors.
@@ -234,14 +328,37 @@ func (n *Network) serialization(size int) sim.Duration {
 // Sending to the own node is not handled here (the MPI layer short-circuits
 // intra-node traffic); src and dst must differ.
 func (n *Network) SendMessage(src, dst, size int, flow Flow, onComplete func(sim.Time)) error {
+	ms := n.getMessageState()
+	ms.onComplete = onComplete
+	return n.sendSegmented(src, dst, size, flow, ms)
+}
+
+// SendMessageCall is SendMessage with an allocation-free completion: when the
+// last byte is delivered, fn(deliveryTime, arg) is invoked.  Callers that
+// bind fn once and thread their per-message state through arg avoid the
+// per-message closure of SendMessage.
+func (n *Network) SendMessageCall(src, dst, size int, flow Flow, fn func(sim.Time, any), arg any) error {
+	ms := n.getMessageState()
+	ms.fnArg = fn
+	ms.arg = arg
+	return n.sendSegmented(src, dst, size, flow, ms)
+}
+
+// sendSegmented splits the message into MTU-sized packets on the source
+// NIC's flow queue.
+func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState) error {
 	if err := n.checkEndpoints(src, dst); err != nil {
+		n.putMessageState(ms)
 		return err
 	}
 	if size <= 0 {
+		n.putMessageState(ms)
 		return fmt.Errorf("netsim: non-positive message size %d", size)
 	}
 	npkts := (size + n.cfg.MTU - 1) / n.cfg.MTU
-	ms := &messageState{remaining: npkts, onComplete: onComplete}
+	ms.remaining = npkts
+	nc, fq := n.flowQueueFor(src, flow)
+	now := n.k.Now()
 	remaining := size
 	for i := 0; i < npkts; i++ {
 		psize := n.cfg.MTU
@@ -249,8 +366,11 @@ func (n *Network) SendMessage(src, dst, size int, flow Flow, onComplete func(sim
 			psize = remaining
 		}
 		remaining -= psize
-		n.inject(&packet{src: src, dst: dst, size: psize, flow: flow, sent: n.k.Now(), msg: ms})
+		p := n.getPacket()
+		p.src, p.dst, p.size, p.flow, p.sent, p.msg = src, dst, psize, flow, now, ms
+		fq.q.push(p)
 	}
+	n.tryStartUplink(nc)
 	return nil
 }
 
@@ -264,7 +384,9 @@ func (n *Network) SendProbe(src, dst, size int, flow Flow, onDeliver func(Delive
 	if size <= 0 || size > n.cfg.MTU {
 		return fmt.Errorf("netsim: probe size %d outside (0, MTU=%d]", size, n.cfg.MTU)
 	}
-	n.inject(&packet{src: src, dst: dst, size: size, flow: flow, sent: n.k.Now(), onDeliver: onDeliver})
+	p := n.getPacket()
+	p.src, p.dst, p.size, p.flow, p.sent, p.onDeliver = src, dst, size, flow, n.k.Now(), onDeliver
+	n.inject(p)
 	return nil
 }
 
@@ -278,16 +400,24 @@ func (n *Network) checkEndpoints(src, dst int) error {
 	return nil
 }
 
-// inject places a packet on its source NIC's per-flow queue.
-func (n *Network) inject(p *packet) {
-	nc := n.nics[p.src]
-	fq := nc.byFlow[p.flow]
+// flowQueueFor resolves (creating on first use) the per-flow FIFO of flow at
+// node src.  Resolving once per message rather than once per packet keeps the
+// map lookup off the per-packet path.
+func (n *Network) flowQueueFor(src int, flow Flow) (*nic, *flowQueue) {
+	nc := n.nics[src]
+	fq := nc.byFlow[flow]
 	if fq == nil {
-		fq = &flowQueue{flow: p.flow}
-		nc.byFlow[p.flow] = fq
+		fq = &flowQueue{flow: flow}
+		nc.byFlow[flow] = fq
 		nc.queues = append(nc.queues, fq)
 	}
-	fq.packets = append(fq.packets, p)
+	return nc, fq
+}
+
+// inject places a packet on its source NIC's per-flow queue.
+func (n *Network) inject(p *packet) {
+	nc, fq := n.flowQueueFor(p.src, p.flow)
+	fq.q.push(p)
 	n.tryStartUplink(nc)
 }
 
@@ -302,56 +432,64 @@ func (n *Network) tryStartUplink(nc *nic) {
 	if total == 0 {
 		return
 	}
-	blockedOn := make(map[*egressPort]bool)
+	blocked := n.blocked[:0]
 	var chosen *packet
-	var chosenQueue *flowQueue
 	for i := 0; i < total; i++ {
-		idx := (nc.next + i) % total
+		idx := nc.next + i
+		if idx >= total {
+			idx -= total
+		}
 		fq := nc.queues[idx]
-		if len(fq.packets) == 0 {
+		if fq.q.empty() {
 			continue
 		}
-		p := fq.packets[0]
+		p := fq.q.front()
 		eg := n.egress[p.dst]
 		if n.cfg.EgressBufferBytes > 0 && eg.buffered+p.size > n.cfg.EgressBufferBytes {
-			blockedOn[eg] = true
+			blocked = append(blocked, eg)
 			continue
 		}
-		chosen = p
-		chosenQueue = fq
-		nc.next = (idx + 1) % total
+		chosen = fq.q.pop()
+		nc.next = idx + 1
+		if nc.next == total {
+			nc.next = 0
+		}
 		break
 	}
 	if chosen == nil {
-		if len(blockedOn) > 0 {
-			// Head-of-line stall: register for wake-up on every blocking port.
+		if len(blocked) > 0 {
+			// Head-of-line stall: register for wake-up on every blocking port
+			// (eg.waiting dedupes repeats of the same port).
 			nc.stalled = true
 			n.stallEvents++
-			for eg := range blockedOn {
+			for _, eg := range blocked {
 				if !eg.waiting[nc] {
 					eg.waiting[nc] = true
 					eg.waiters = append(eg.waiters, nc)
 				}
 			}
 		}
+		n.blocked = blocked[:0]
 		return
 	}
+	n.blocked = blocked[:0]
 	nc.stalled = false
-	chosenQueue.packets = chosenQueue.packets[1:]
 	eg := n.egress[chosen.dst]
 	eg.buffered += chosen.size // credit reserved while the packet is in flight
 	ser := n.serialization(chosen.size)
 	nc.busy = true
 	nc.busyNS += ser
-	n.k.After(ser, func() {
-		nc.busy = false
-		n.k.After(n.cfg.WireDelay, func() { n.enterFabric(chosen) })
-		n.tryStartUplink(nc)
-	})
+	n.k.Call(ser, n.uplinkDoneFn, chosen)
 }
 
-// enterFabric models the switch's internal routing stage.
-func (n *Network) enterFabric(p *packet) {
+// uplinkDone frees the uplink after a packet's serialization, launches the
+// packet across the wire and through the switch's routing stage, and keeps
+// the NIC draining.  Wire traversal and fabric routing are one fused event:
+// the stochastic fabric delay is drawn here, which preserves the delay
+// distribution while saving a heap operation per packet.
+func (n *Network) uplinkDone(p *packet) {
+	nc := n.nics[p.src]
+	nc.busy = false
 	d := n.cfg.FabricDelay
 	if n.cfg.FabricJitter > 0 {
 		d += sim.Duration(n.rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
@@ -362,33 +500,38 @@ func (n *Network) enterFabric(p *packet) {
 	if d < 0 {
 		d = 0
 	}
-	n.k.After(d, func() { n.enqueueEgress(p) })
+	n.k.Call(n.cfg.WireDelay+d, n.enqueueEgressFn, p)
+	n.tryStartUplink(nc)
 }
 
 // enqueueEgress places the packet on its destination port's queue.
 func (n *Network) enqueueEgress(p *packet) {
 	eg := n.egress[p.dst]
-	eg.queue = append(eg.queue, p)
+	eg.queue.push(p)
 	n.tryStartEgress(eg)
 }
 
 // tryStartEgress drains the egress queue onto the downlink.
 func (n *Network) tryStartEgress(eg *egressPort) {
-	if eg.busy || len(eg.queue) == 0 {
+	if eg.busy || eg.queue.empty() {
 		return
 	}
-	p := eg.queue[0]
-	eg.queue = eg.queue[1:]
+	p := eg.queue.pop()
 	eg.busy = true
 	ser := n.serialization(p.size)
 	eg.busyNS += ser
-	n.k.After(ser, func() {
-		eg.busy = false
-		eg.buffered -= p.size
-		n.wakeWaiters(eg)
-		n.k.After(n.cfg.WireDelay, func() { n.deliver(p) })
-		n.tryStartEgress(eg)
-	})
+	n.k.Call(ser, n.egressDoneFn, p)
+}
+
+// egressDone frees the downlink after a packet's serialization, releases the
+// packet's buffer credit, retries stalled NICs and keeps the port draining.
+func (n *Network) egressDone(p *packet) {
+	eg := n.egress[p.dst]
+	eg.busy = false
+	eg.buffered -= p.size
+	n.wakeWaiters(eg)
+	n.k.Call(n.cfg.WireDelay, n.deliverFn, p)
+	n.tryStartEgress(eg)
 }
 
 // wakeWaiters retries NICs stalled on this egress port, in the order they
@@ -408,7 +551,7 @@ func (n *Network) wakeWaiters(eg *egressPort) {
 	}
 }
 
-// deliver hands the packet to its destination.
+// deliver hands the packet to its destination and recycles it.
 func (n *Network) deliver(p *packet) {
 	n.packetsDelivered++
 	n.bytesDelivered += int64(p.size)
@@ -420,12 +563,19 @@ func (n *Network) deliver(p *packet) {
 	if p.onDeliver != nil {
 		p.onDeliver(d)
 	}
-	if p.msg != nil {
-		p.msg.remaining--
-		if p.msg.remaining == 0 && p.msg.onComplete != nil {
-			p.msg.onComplete(n.k.Now())
+	if ms := p.msg; ms != nil {
+		ms.remaining--
+		if ms.remaining == 0 {
+			done, fnArg, arg := ms.onComplete, ms.fnArg, ms.arg
+			n.putMessageState(ms)
+			if done != nil {
+				done(n.k.Now())
+			} else if fnArg != nil {
+				fnArg(n.k.Now(), arg)
+			}
 		}
 	}
+	n.putPacket(p)
 }
 
 // Stats summarizes the traffic the network has carried so far.

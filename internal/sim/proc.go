@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// procKilled is the panic value used to unwind a process during Shutdown.
+type procKilled struct{}
+
+// Proc is a cooperative simulated process.  Its body runs on its own
+// goroutine, but the kernel guarantees that at most one process executes at a
+// time, so process code may freely touch shared simulation state.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+	// resume carries the single run token from the kernel to the process.
+	// Capacity 1 so the kernel (and Shutdown) never block on the send side.
+	resume chan struct{}
+	// dispatchFn is the one closure bound at Spawn; Sleep and Wake reschedule
+	// it through the pooled event path, so parking and waking a process
+	// allocates nothing.
+	dispatchFn func()
+	done       bool
+	killed     bool
+	parked     bool // parked via Block and eligible for Wake
+	pending    bool // a Wake arrived while the proc was not parked
+	rng        *rand.Rand
+}
+
+// Spawn creates a process named name executing body.  The body starts running
+// at the current virtual time (after already-scheduled events for this
+// instant).
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	if k.shutdown {
+		panic("sim: Spawn after Shutdown")
+	}
+	p := &Proc{
+		k:      k,
+		id:     k.procSeq,
+		name:   name,
+		resume: make(chan struct{}, 1),
+	}
+	p.dispatchFn = func() { k.dispatch(p) }
+	k.procSeq++
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// Re-panic on the kernel goroutine would be nicer but we
+					// cannot cross goroutines; make the failure loud instead.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.done = true
+			k.live--
+			k.yielded <- struct{}{}
+		}()
+		if p.killed {
+			panic(procKilled{})
+		}
+		body(p)
+	}()
+	k.PostAt(k.now, p.dispatchFn)
+	return p
+}
+
+// dispatch hands control to p until it parks or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := k.current
+	k.current = p
+	k.stats.ProcSwitches++
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.current = prev
+}
+
+// pause parks the calling process and returns control to the kernel.  It
+// returns when the kernel dispatches the process again.  A process that has
+// already been marked killed unwinds immediately instead of parking, so a
+// kill can never strand a process that re-enters pause while unwinding (e.g.
+// from a deferred Sleep or Block).
+func (p *Proc) pause() {
+	if p.killed {
+		panic(procKilled{})
+	}
+	k := p.k
+	k.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Kernel returns the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process' unique id within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Rand returns a deterministic random stream private to this process.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = p.k.NewRand(fmt.Sprintf("proc/%d/%s", p.id, p.name))
+	}
+	return p.rng
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.PostAt(k.now.Add(d), p.dispatchFn)
+	p.pause()
+}
+
+// Block parks the process until another component calls Kernel.Wake (or
+// Proc.Wake) for it.  If a wake was delivered while the process was running,
+// Block consumes it and returns immediately.  Typical usage is a condition
+// loop:
+//
+//	for !req.complete {
+//		p.Block()
+//	}
+func (p *Proc) Block() {
+	if p.pending {
+		p.pending = false
+		return
+	}
+	p.parked = true
+	p.pause()
+}
+
+// Wake marks p runnable again.  If p is parked in Block it is scheduled to
+// resume at the current virtual time; otherwise the wake is remembered and
+// the next Block returns immediately.  Waking a finished process is a no-op.
+func (k *Kernel) Wake(p *Proc) {
+	if p == nil || p.done {
+		return
+	}
+	if p.parked {
+		p.parked = false
+		k.PostAt(k.now, p.dispatchFn)
+		return
+	}
+	p.pending = true
+}
+
+// Wake is a convenience wrapper for Kernel.Wake.
+func (p *Proc) Wake() { p.k.Wake(p) }
+
+// WaitUntil blocks the process until pred() reports true.  The predicate is
+// re-evaluated every time the process is woken.
+func (p *Proc) WaitUntil(pred func() bool) {
+	for !pred() {
+		p.Block()
+	}
+}
+
+// WaitGroup counts outstanding activities and lets a single process wait for
+// them to finish, mirroring sync.WaitGroup in virtual time.
+type WaitGroup struct {
+	count  int
+	waiter *Proc
+}
+
+// Add increments the outstanding-activity count by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the count and wakes the waiter when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+	if w.count == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		p.Wake()
+	}
+}
+
+// Wait blocks p until the counter reaches zero.  Only one process may wait on
+// a WaitGroup at a time.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: concurrent Wait on WaitGroup")
+	}
+	w.waiter = p
+	p.WaitUntil(func() bool { return w.count == 0 })
+	if w.waiter == p {
+		w.waiter = nil
+	}
+}
+
+// Signal is a broadcast condition: processes Wait on it and a later Broadcast
+// wakes all current waiters.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait parks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.Block()
+}
+
+// Broadcast wakes every process currently waiting on the signal.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p.Wake()
+	}
+}
+
+// Waiting reports how many processes are parked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }

@@ -6,13 +6,21 @@
 // most one process runs at any instant, so simulation code needs no locking
 // and is fully deterministic for a fixed seed.
 //
+// Two scheduling APIs exist.  At/After return a cancellable *Event handle and
+// allocate a fresh event per call.  Post/PostAt/Call/CallAt are fire-and-forget:
+// they return no handle, draw their event structs from an internal free list
+// and recycle them after firing, so steady-state scheduling allocates nothing.
+// Call/CallAt additionally carry a caller-supplied argument to the callback,
+// letting hot paths reuse one pre-bound callback instead of allocating a
+// closure per event.  Events scheduled for the current instant bypass the
+// timer heap entirely through a FIFO ring.
+//
 // The kernel is the substrate for the simulated cluster network, the MPI-like
 // runtime and the application workloads used to reproduce the active
 // measurement methodology of Casas & Bronevetsky (IPDPS 2014).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -70,12 +78,22 @@ func DurationOfSeconds(s float64) Duration { return Duration(s * float64(Second)
 // DurationOfMicros converts a float number of microseconds to a Duration.
 func DurationOfMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
 
-// Event is a scheduled callback.  It can be cancelled before it fires.
+// Event is a scheduled callback.  Handles returned by At/After can be
+// cancelled before they fire.  Events created through Post/PostAt/Call/CallAt
+// are pooled and never escape the kernel.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
+	at  Time
+	seq uint64
+	fn  func()
+	// afn/arg are the argument-carrying callback form used by Call/CallAt;
+	// exactly one of fn and afn is set.
+	afn       func(any)
+	arg       any
 	cancelled bool
+	// pooled events are recycled onto the kernel free list once popped; only
+	// handle-less events may be pooled, so a recycled struct can never be
+	// reached through a stale *Event.
+	pooled bool
 }
 
 // Time returns the virtual time at which the event is scheduled to fire.
@@ -85,25 +103,71 @@ func (e *Event) Time() Time { return e.at }
 // fired is a no-op.
 func (e *Event) Cancel() { e.cancelled = true }
 
-// eventHeap orders events by (time, sequence) so that events scheduled for
-// the same instant fire in scheduling order, keeping runs deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Stats counts what the kernel has done since creation.  All counters are
+// monotonic.
+type Stats struct {
+	// EventsScheduled is the total number of events accepted via any
+	// scheduling API.
+	EventsScheduled uint64
+	// EventsFired is the number of events whose callback ran.
+	EventsFired uint64
+	// EventsCancelled is the number of events discarded without firing
+	// (explicit Cancel or Shutdown).
+	EventsCancelled uint64
+	// PoolReuses is the number of event structs served from the free list
+	// instead of the heap allocator (allocations avoided).
+	PoolReuses uint64
+	// FastPathEvents is the number of events that bypassed the timer heap
+	// through the same-instant FIFO ring.
+	FastPathEvents uint64
+	// ProcSwitches is the number of kernel-to-process control transfers.
+	ProcSwitches uint64
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// eventRing is a growable FIFO of events scheduled for the current instant;
+// it replaces O(log n) heap traffic with O(1) pushes and pops for the very
+// common "schedule at now" case (wakes, same-time cascades).
+type eventRing struct {
+	buf  []*Event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(e *Event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = e
+	r.n++
+}
+
+func (r *eventRing) grow() {
+	newBuf := make([]*Event, max(16, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		newBuf[i] = r.buf[j]
+	}
+	r.buf = newBuf
+	r.head = 0
+}
+
+func (r *eventRing) peek() *Event { return r.buf[r.head] }
+
+func (r *eventRing) pop() *Event {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
 	return e
 }
 
@@ -112,15 +176,20 @@ func (h *eventHeap) Pop() interface{} {
 // Run/RunUntil or from code executed by the kernel itself (events and
 // processes).
 type Kernel struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	seed    int64
+	now    Time
+	events []*Event // binary min-heap ordered by (at, seq)
+	nowq   eventRing
+	pool   []*Event
+	seq    uint64
+	seed   int64
+	stats  Stats
+
 	procSeq int
 	procs   []*Proc
 	current *Proc
 	// yielded is signalled by the running process when it parks or ends,
-	// returning control to the kernel loop.
+	// returning control to the kernel loop.  Capacity 1 keeps the handoff a
+	// single token store instead of a blocking rendezvous on both sides.
 	yielded  chan struct{}
 	live     int
 	shutdown bool
@@ -130,7 +199,7 @@ type Kernel struct {
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
 		seed:    seed,
-		yielded: make(chan struct{}),
+		yielded: make(chan struct{}, 1),
 	}
 }
 
@@ -139,6 +208,9 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Seed returns the base seed of the kernel's random streams.
 func (k *Kernel) Seed() int64 { return k.seed }
+
+// Stats returns a snapshot of the kernel's activity counters.
+func (k *Kernel) Stats() Stats { return k.stats }
 
 // NewRand returns a deterministic random stream identified by name.  Streams
 // with distinct names are independent; the same (seed, name) pair always
@@ -157,21 +229,135 @@ func (k *Kernel) Pending() int {
 			n++
 		}
 	}
+	for i := 0; i < k.nowq.n; i++ {
+		j := k.nowq.head + i
+		if j >= len(k.nowq.buf) {
+			j -= len(k.nowq.buf)
+		}
+		if !k.nowq.buf[j].cancelled {
+			n++
+		}
+	}
 	return n
 }
 
 // LiveProcs reports the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.live }
 
-// At schedules fn to run at virtual time t.  Scheduling in the past is
-// clamped to the current time.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// --- event heap -------------------------------------------------------------
+//
+// A manual 4-ary min-heap: container/heap's interface calls were a top
+// profile entry in packet-heavy simulations, and the wider node halves the
+// sift-down depth (the pop-heavy direction) while keeping all four children
+// of a node on one cache line pair.
+
+const heapArity = 4
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *Event) {
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.events = h
+}
+
+func (k *Kernel) heapPop() *Event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !eventLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	k.events = h
+	return top
+}
+
+// --- scheduling -------------------------------------------------------------
+
+// newEvent serves an event struct, preferring the free list.
+func (k *Kernel) newEvent() *Event {
+	if n := len(k.pool); n > 0 {
+		e := k.pool[n-1]
+		k.pool = k.pool[:n-1]
+		k.stats.PoolReuses++
+		return e
+	}
+	return &Event{}
+}
+
+// recycle returns a pooled event to the free list.  Handle-bearing events
+// (At/After) are never recycled: a stale *Event held by the caller must stay
+// inert rather than alias a future event.
+func (k *Kernel) recycle(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	e.cancelled = false
+	e.pooled = false
+	k.pool = append(k.pool, e)
+}
+
+// enqueue stamps and queues a prepared event.  Events for the current instant
+// take the FIFO ring; later events take the heap.
+func (k *Kernel) enqueue(e *Event, t Time) {
 	if t < k.now {
 		t = k.now
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	e.at = t
+	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, e)
+	k.stats.EventsScheduled++
+	if t == k.now {
+		k.nowq.push(e)
+		k.stats.FastPathEvents++
+		return
+	}
+	k.heapPush(e)
+}
+
+// At schedules fn to run at virtual time t and returns a cancellable handle.
+// Scheduling in the past is clamped to the current time.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	e := &Event{fn: fn}
+	k.enqueue(e, t)
 	return e
 }
 
@@ -182,6 +368,47 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 	}
 	return k.At(k.now.Add(d), fn)
 }
+
+// PostAt schedules fn to run at virtual time t with no cancellation handle.
+// The backing event comes from the kernel's free list, so steady-state use
+// does not allocate.
+func (k *Kernel) PostAt(t Time, fn func()) {
+	e := k.newEvent()
+	e.fn = fn
+	e.pooled = true
+	k.enqueue(e, t)
+}
+
+// Post schedules fn to run d after the current virtual time with no
+// cancellation handle (the pooled counterpart of After).
+func (k *Kernel) Post(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.PostAt(k.now.Add(d), fn)
+}
+
+// CallAt schedules fn(arg) at virtual time t with no cancellation handle.
+// Combined with a pre-bound fn it makes repeated scheduling completely
+// allocation-free: the event is pooled and no closure is created.
+func (k *Kernel) CallAt(t Time, fn func(any), arg any) {
+	e := k.newEvent()
+	e.afn = fn
+	e.arg = arg
+	e.pooled = true
+	k.enqueue(e, t)
+}
+
+// Call schedules fn(arg) to run d after the current virtual time (the pooled,
+// argument-carrying counterpart of After).
+func (k *Kernel) Call(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	k.CallAt(k.now.Add(d), fn, arg)
+}
+
+// --- execution --------------------------------------------------------------
 
 // Run executes events until the event queue is empty.  It returns the final
 // virtual time.
@@ -207,35 +434,79 @@ func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
 
 // step executes the next event if there is one and (when deadline >= 0) it
 // does not lie beyond the deadline.  It reports whether an event ran.
+//
+// The ring only ever holds events stamped at the current instant, and the
+// clock advances solely by firing heap events, which cannot happen while ring
+// events remain; comparing the two front events by (at, seq) therefore
+// reproduces the exact global ordering of a single queue.
 func (k *Kernel) step(deadline Time) bool {
-	for len(k.events) > 0 {
-		next := k.events[0]
-		if next.cancelled {
-			heap.Pop(&k.events)
-			continue
-		}
-		if deadline >= 0 && next.at > deadline {
+	for {
+		var e *Event
+		fromRing := false
+		if k.nowq.n > 0 {
+			e = k.nowq.peek()
+			fromRing = true
+			if len(k.events) > 0 && eventLess(k.events[0], e) {
+				e = k.events[0]
+				fromRing = false
+			}
+		} else if len(k.events) > 0 {
+			e = k.events[0]
+		} else {
 			return false
 		}
-		heap.Pop(&k.events)
-		k.now = next.at
-		next.fn()
+		if e.cancelled {
+			if fromRing {
+				k.nowq.pop()
+			} else {
+				k.heapPop()
+			}
+			k.stats.EventsCancelled++
+			k.recycle(e)
+			continue
+		}
+		if deadline >= 0 && e.at > deadline {
+			return false
+		}
+		if fromRing {
+			k.nowq.pop()
+		} else {
+			k.heapPop()
+		}
+		k.now = e.at
+		k.stats.EventsFired++
+		fn, afn, arg := e.fn, e.afn, e.arg
+		k.recycle(e) // safe: callback copied out, struct may be reused by fn itself
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
-	return false
 }
 
 // Shutdown terminates all live processes by unwinding their goroutines.  It
 // must be called from outside the kernel (not from an event or process) and
 // leaves the kernel unusable for further spawns.  It is used to release
 // resources when an experiment window ends before its processes finish.
+// Calling Shutdown more than once is a no-op.
 func (k *Kernel) Shutdown() {
 	k.shutdown = true
-	// Cancel all pending events so no further work is scheduled.
+	// Cancel all pending events so no further work is scheduled, returning
+	// pooled ones to the free list.
 	for _, e := range k.events {
+		k.stats.EventsCancelled++
 		e.cancelled = true
+		k.recycle(e)
 	}
 	k.events = k.events[:0]
+	for k.nowq.n > 0 {
+		e := k.nowq.pop()
+		k.stats.EventsCancelled++
+		e.cancelled = true
+		k.recycle(e)
+	}
 	// Unwind every parked process.
 	procs := make([]*Proc, len(k.procs))
 	copy(procs, k.procs)
@@ -247,224 +518,16 @@ func (k *Kernel) Shutdown() {
 			continue
 		}
 		p.killed = true
-		p.resume <- struct{}{}
+		// Non-blocking kill handshake: a parked process consumes the resume
+		// token and unwinds.  A process that is mid-handoff (it yielded but
+		// has not re-parked, or already holds an unconsumed token) observes
+		// the killed flag on its own the next time it passes through pause;
+		// blocking on the send here would deadlock Shutdown against it.
+		select {
+		case p.resume <- struct{}{}:
+		default:
+		}
 		<-k.yielded
 	}
 	k.procs = nil
 }
-
-// procKilled is the panic value used to unwind a process during Shutdown.
-type procKilled struct{}
-
-// Proc is a cooperative simulated process.  Its body runs on its own
-// goroutine, but the kernel guarantees that at most one process executes at a
-// time, so process code may freely touch shared simulation state.
-type Proc struct {
-	k       *Kernel
-	id      int
-	name    string
-	resume  chan struct{}
-	done    bool
-	killed  bool
-	parked  bool // parked via Block and eligible for Wake
-	pending bool // a Wake arrived while the proc was not parked
-	rng     *rand.Rand
-}
-
-// Spawn creates a process named name executing body.  The body starts running
-// at the current virtual time (after already-scheduled events for this
-// instant).
-func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	if k.shutdown {
-		panic("sim: Spawn after Shutdown")
-	}
-	p := &Proc{
-		k:      k,
-		id:     k.procSeq,
-		name:   name,
-		resume: make(chan struct{}),
-	}
-	k.procSeq++
-	k.procs = append(k.procs, p)
-	k.live++
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); !ok {
-					// Re-panic on the kernel goroutine would be nicer but we
-					// cannot cross goroutines; make the failure loud instead.
-					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-				}
-			}
-			p.done = true
-			k.live--
-			k.yielded <- struct{}{}
-		}()
-		if p.killed {
-			panic(procKilled{})
-		}
-		body(p)
-	}()
-	k.At(k.now, func() { k.dispatch(p) })
-	return p
-}
-
-// dispatch hands control to p until it parks or finishes.
-func (k *Kernel) dispatch(p *Proc) {
-	if p.done {
-		return
-	}
-	prev := k.current
-	k.current = p
-	p.resume <- struct{}{}
-	<-k.yielded
-	k.current = prev
-}
-
-// pause parks the calling process and returns control to the kernel.  It
-// returns when the kernel dispatches the process again.
-func (p *Proc) pause() {
-	k := p.k
-	k.yielded <- struct{}{}
-	<-p.resume
-	if p.killed {
-		panic(procKilled{})
-	}
-}
-
-// Kernel returns the kernel the process belongs to.
-func (p *Proc) Kernel() *Kernel { return p.k }
-
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
-
-// Name returns the process name given at Spawn.
-func (p *Proc) Name() string { return p.name }
-
-// ID returns the process' unique id within its kernel.
-func (p *Proc) ID() int { return p.id }
-
-// Rand returns a deterministic random stream private to this process.
-func (p *Proc) Rand() *rand.Rand {
-	if p.rng == nil {
-		p.rng = p.k.NewRand(fmt.Sprintf("proc/%d/%s", p.id, p.name))
-	}
-	return p.rng
-}
-
-// Sleep suspends the process for d of virtual time.
-func (p *Proc) Sleep(d Duration) {
-	if d < 0 {
-		d = 0
-	}
-	k := p.k
-	k.At(k.now.Add(d), func() { k.dispatch(p) })
-	p.pause()
-}
-
-// Block parks the process until another component calls Kernel.Wake (or
-// Proc.Wake) for it.  If a wake was delivered while the process was running,
-// Block consumes it and returns immediately.  Typical usage is a condition
-// loop:
-//
-//	for !req.complete {
-//		p.Block()
-//	}
-func (p *Proc) Block() {
-	if p.pending {
-		p.pending = false
-		return
-	}
-	p.parked = true
-	p.pause()
-}
-
-// Wake marks p runnable again.  If p is parked in Block it is scheduled to
-// resume at the current virtual time; otherwise the wake is remembered and
-// the next Block returns immediately.  Waking a finished process is a no-op.
-func (k *Kernel) Wake(p *Proc) {
-	if p == nil || p.done {
-		return
-	}
-	if p.parked {
-		p.parked = false
-		k.At(k.now, func() { k.dispatch(p) })
-		return
-	}
-	p.pending = true
-}
-
-// Wake is a convenience wrapper for Kernel.Wake.
-func (p *Proc) Wake() { p.k.Wake(p) }
-
-// WaitUntil blocks the process until pred() reports true.  The predicate is
-// re-evaluated every time the process is woken.
-func (p *Proc) WaitUntil(pred func() bool) {
-	for !pred() {
-		p.Block()
-	}
-}
-
-// WaitGroup counts outstanding activities and lets a single process wait for
-// them to finish, mirroring sync.WaitGroup in virtual time.
-type WaitGroup struct {
-	count  int
-	waiter *Proc
-}
-
-// Add increments the outstanding-activity count by n.
-func (w *WaitGroup) Add(n int) { w.count += n }
-
-// Done decrements the count and wakes the waiter when it reaches zero.
-func (w *WaitGroup) Done() {
-	w.count--
-	if w.count < 0 {
-		panic("sim: WaitGroup counter went negative")
-	}
-	if w.count == 0 && w.waiter != nil {
-		p := w.waiter
-		w.waiter = nil
-		p.Wake()
-	}
-}
-
-// Wait blocks p until the counter reaches zero.  Only one process may wait on
-// a WaitGroup at a time.
-func (w *WaitGroup) Wait(p *Proc) {
-	if w.count == 0 {
-		return
-	}
-	if w.waiter != nil {
-		panic("sim: concurrent Wait on WaitGroup")
-	}
-	w.waiter = p
-	p.WaitUntil(func() bool { return w.count == 0 })
-	if w.waiter == p {
-		w.waiter = nil
-	}
-}
-
-// Signal is a broadcast condition: processes Wait on it and a later Broadcast
-// wakes all current waiters.
-type Signal struct {
-	waiters []*Proc
-}
-
-// Wait parks p until the next Broadcast.
-func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
-	p.Block()
-}
-
-// Broadcast wakes every process currently waiting on the signal.
-func (s *Signal) Broadcast() {
-	waiters := s.waiters
-	s.waiters = nil
-	for _, p := range waiters {
-		p.Wake()
-	}
-}
-
-// Waiting reports how many processes are parked on the signal.
-func (s *Signal) Waiting() int { return len(s.waiters) }

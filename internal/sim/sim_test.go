@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDurationString(t *testing.T) {
@@ -507,6 +508,179 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		k.step(-1)
+	}
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// --- hot-path and shutdown regression tests ---------------------------------
+
+func TestEventPoolDoesNotResurrectCancelledEvents(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	e := k.At(10, func() { fired++ })
+	e.Cancel()
+	k.Post(20, func() { fired += 10 })
+	k.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (cancelled handle event must not fire)", fired)
+	}
+	// A late Cancel on the spent handle must stay a no-op even though the
+	// kernel recycles event structs: handle-bearing events are never pooled.
+	e.Cancel()
+	k.Post(5, func() { fired += 100 })
+	k.Run()
+	if fired != 110 {
+		t.Fatalf("fired = %d, want 110 (late Cancel corrupted a pooled event)", fired)
+	}
+}
+
+func TestPooledEventsFireExactlyOnceAcrossReuse(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 50; i++ {
+			k.Post(Duration(i), func() { count++ })
+		}
+		k.Run()
+	}
+	if count != 250 {
+		t.Fatalf("count = %d, want 250", count)
+	}
+	if k.Stats().PoolReuses == 0 {
+		t.Fatal("expected pooled event reuse across rounds")
+	}
+}
+
+func TestSameTimeSchedulingPreservesFIFO(t *testing.T) {
+	// Events created for the current instant take the FIFO ring; events for
+	// the same timestamp created earlier sit in the heap.  The global
+	// (time, seq) order must hold across both structures.
+	k := NewKernel(1)
+	var order []int
+	k.At(5, func() { order = append(order, 1) })
+	k.At(5, func() {
+		order = append(order, 2)
+		k.At(5, func() { order = append(order, 4) })
+		k.PostAt(5, func() { order = append(order, 5) })
+		k.Call(0, func(a any) { order = append(order, a.(int)) }, 6)
+	})
+	k.At(5, func() { order = append(order, 3) })
+	k.Run()
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Stats().FastPathEvents < 3 {
+		t.Fatalf("fast-path events = %d, want >= 3", k.Stats().FastPathEvents)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	k := NewKernel(1)
+	e := k.At(10, func() {})
+	e.Cancel()
+	k.Post(5, func() {})
+	k.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	k.Run()
+	st := k.Stats()
+	if st.EventsScheduled < 4 {
+		t.Fatalf("scheduled = %d, want >= 4", st.EventsScheduled)
+	}
+	if st.EventsFired < 3 {
+		t.Fatalf("fired = %d, want >= 3", st.EventsFired)
+	}
+	if st.EventsCancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.EventsCancelled)
+	}
+	if st.ProcSwitches < 2 {
+		t.Fatalf("proc switches = %d, want >= 2", st.ProcSwitches)
+	}
+}
+
+// TestShutdownWithDeferredPause is the regression test for the kill
+// handshake: a process whose unwind path re-enters the scheduler (a deferred
+// Sleep here, i.e. it is mid-schedule rather than parked when the kill
+// arrives) must not deadlock Shutdown or leak the process.
+func TestShutdownWithDeferredPause(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("deferred-sleep", func(p *Proc) {
+		defer p.Sleep(10) // runs while the proc is being killed
+		for {
+			p.Sleep(10)
+		}
+	})
+	k.Spawn("deferred-block", func(p *Proc) {
+		defer p.Block()
+		for {
+			p.Sleep(10)
+		}
+	})
+	k.RunUntil(100)
+	done := make(chan struct{})
+	go func() {
+		k.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown deadlocked on a process that re-entered the scheduler while unwinding")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs after shutdown = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestShutdownMixedProcStates(t *testing.T) {
+	k := NewKernel(1)
+	var blocked *Proc
+	blocked = k.Spawn("blocked", func(p *Proc) { p.Block() })
+	k.Spawn("finished", func(p *Proc) {})
+	k.Spawn("sleeping", func(p *Proc) {
+		for {
+			p.Sleep(7)
+		}
+	})
+	k.RunUntil(50)
+	k.Spawn("never-dispatched", func(p *Proc) { t.Error("never-dispatched proc ran") })
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs after shutdown = %d, want 0", k.LiveProcs())
+	}
+	k.Wake(blocked) // waking a dead proc stays a no-op
+}
+
+func BenchmarkPooledEventScheduling(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.PostAt(Time(i), fn)
+		k.step(-1)
+	}
+}
+
+func BenchmarkSameTimeWakeup(b *testing.B) {
+	// The Wake→dispatch path of a parked process: pooled event + FIFO ring.
+	k := NewKernel(1)
+	k.Spawn("blocker", func(p *Proc) {
+		for {
+			p.Block()
+		}
+	})
+	k.step(-1) // first dispatch, parks the proc
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.procs[0].Wake()
 		k.step(-1)
 	}
 	b.StopTimer()
