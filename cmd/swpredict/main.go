@@ -5,7 +5,8 @@
 // Usage:
 //
 //	swpredict -target FFTW -corunner Lulesh [-preset ci|default|paper]
-//	          [-seed N] [-validate]
+//	          [-seed N] [-validate] [-topology star|fattree] [-leaves N]
+//	          [-uplinks N] [-placement pack|spread|random]
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
@@ -34,6 +37,10 @@ func run(args []string) error {
 	preset := fs.String("preset", string(experiments.PresetCI), "scale preset: paper, default or ci")
 	seed := fs.Int64("seed", 1, "base random seed")
 	validate := fs.Bool("validate", false, "also measure the real co-run slowdown for comparison")
+	topology := fs.String("topology", "star", "network topology: star or fattree")
+	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
+	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node)")
+	placement := fs.String("placement", "pack", "application placement across leaves: pack, spread or random")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +49,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
+	if err != nil {
+		return err
+	}
+	cfg.Options.Machine.Net.Topology = topo
+	policy, err := cluster.ParsePlacement(*placement)
+	if err != nil {
+		return err
+	}
+	cfg.Options.Placement = policy
 	target, err := workload.ByName(*targetName, cfg.Scale)
 	if err != nil {
 		return err
@@ -51,7 +68,7 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("Calibrating the idle switch (preset %s)...\n", *preset)
+	fmt.Printf("Calibrating the idle %s fabric (preset %s)...\n", topo.Name(), *preset)
 	cal, err := core.Calibrate(cfg.Options)
 	if err != nil {
 		return err

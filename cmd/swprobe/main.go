@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all [-preset paper|default|ci]
+//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
+//	        [-topology star|fattree] [-leaves N] [-uplinks N]
+//	        [-placement pack|spread|random] [-target APP] [-corunner APP]
+//
+// The topology flags select the simulated fabric for every experiment; the
+// xswitch campaign additionally sweeps the fat-tree's oversubscription and
+// compares packed vs. spread placement.
 //
 // Example:
 //
 //	swprobe -exp fig9 -preset default
 //	swprobe -exp all -preset ci -csv ./results
+//	swprobe -exp xswitch -preset ci -topology fattree -uplinks 2
 package main
 
 import (
@@ -21,7 +28,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/stats"
 )
@@ -35,11 +44,17 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("swprobe", flag.ContinueOnError)
-	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9 or all")
+	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9, xswitch or all")
 	preset := fs.String("preset", string(experiments.PresetDefault), "scale preset: paper, default or ci")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = all CPUs)")
 	csvDir := fs.String("csv", "", "directory to write CSV files into (optional)")
+	topology := fs.String("topology", "star", "network topology: star or fattree")
+	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
+	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node, no oversubscription)")
+	placement := fs.String("placement", "pack", "application placement across leaves: pack, spread or random")
+	targetName := fs.String("target", "FFTW", "xswitch: application whose slowdown is measured")
+	coName := fs.String("corunner", "VPFFT", "xswitch: application sharing the fabric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +64,16 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	cfg.Parallelism = *parallel
+	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
+	if err != nil {
+		return err
+	}
+	cfg.Options.Machine.Net.Topology = topo
+	policy, err := cluster.ParsePlacement(*placement)
+	if err != nil {
+		return err
+	}
+	cfg.Options.Placement = policy
 	suite := experiments.NewSuite(cfg)
 
 	var wanted []string
@@ -63,7 +88,7 @@ func run(args []string, out *os.File) error {
 	experiments.ResetSimUsage()
 	for _, name := range wanted {
 		start := time.Now()
-		tbl, extra, err := runOne(suite, name)
+		tbl, extra, err := runOne(suite, name, *targetName, *coName)
 		if err != nil {
 			return err
 		}
@@ -85,7 +110,7 @@ func run(args []string, out *os.File) error {
 }
 
 // runOne produces the table (and optional trailing text) of one experiment.
-func runOne(suite *experiments.Suite, name string) (report.Table, string, error) {
+func runOne(suite *experiments.Suite, name, target, corunner string) (report.Table, string, error) {
 	switch name {
 	case "fig3":
 		r, err := suite.Fig3()
@@ -135,10 +160,34 @@ func runOne(suite *experiments.Suite, name string) (report.Table, string, error)
 		}
 		chart := report.BoxChart("Prediction error quartiles", r.Models, boxes, 50)
 		return report.Fig9Table(r), chart + "\n" + report.Summary(r), nil
+	case "xswitch":
+		r, err := suite.XSwitch(target, corunner)
+		if err != nil {
+			return report.Table{}, "", err
+		}
+		return report.XSwitchTable(r), xswitchSummary(r), nil
 	default:
-		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, all)",
+		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, xswitch, all)",
 			name, strings.Join(experiments.Names, ", "))
 	}
+}
+
+// xswitchSummary highlights the campaign's headline contrast: packed vs
+// spread placement at the strongest oversubscription measured.
+func xswitchSummary(r experiments.XSwitchResult) string {
+	worst := -1
+	var oversub float64
+	for _, p := range r.Points {
+		if p.Oversubscription > oversub {
+			oversub, worst = p.Oversubscription, p.Uplinks
+		}
+	}
+	if worst < 0 {
+		return ""
+	}
+	pack, _ := r.DegradationBy(worst, cluster.PlacePack)
+	spread, _ := r.DegradationBy(worst, cluster.PlaceSpread)
+	return fmt.Sprintf("At %.1f:1 oversubscription, %s degrades %.1f%% when both jobs are packed on their own leaves\nand %.1f%% when both are spread across every leaf.\n", oversub, r.Target, pack, spread)
 }
 
 // writeCSV writes one experiment's table into dir/<name>.csv.

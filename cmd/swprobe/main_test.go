@@ -30,7 +30,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestRunOneUnknownName(t *testing.T) {
 	suite := experiments.NewSuite(experiments.MustNewConfig(experiments.PresetCI, 1))
-	if _, _, err := runOne(suite, "bogus"); err == nil {
+	if _, _, err := runOne(suite, "bogus", "FFTW", "VPFFT"); err == nil {
 		t.Fatal("expected error for unknown experiment name")
 	}
 }

@@ -1,6 +1,8 @@
 // Package cluster models the machine the experiments run on: a set of
-// multi-socket compute nodes attached to a single network switch, and the
-// placement of software components (jobs) onto cores.
+// multi-socket compute nodes attached to a network fabric (a single switch
+// or a multi-switch fat-tree, selected by the netsim topology), and the
+// placement of software components (jobs) onto cores — including how a job's
+// nodes are picked across the fabric's leaf switches.
 //
 // The defaults mirror one bottom-level switch of LLNL's Cab cluster as
 // described in the paper's experimental setup: 18 nodes, two 8-core Intel
@@ -14,6 +16,38 @@ import (
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/sim"
 )
+
+// PlacementPolicy selects how a job's nodes are picked across the topology's
+// leaf switches.
+type PlacementPolicy string
+
+const (
+	// PlacePack fills leaves one at a time (plain node order), keeping a job
+	// on as few leaves as possible.  It is the default and matches the
+	// paper's single-switch process mapping exactly.
+	PlacePack PlacementPolicy = "pack"
+	// PlaceSpread round-robins nodes across leaves, giving the job a
+	// footprint on every leaf so its traffic crosses the spine.
+	PlaceSpread PlacementPolicy = "spread"
+	// PlaceRandom shuffles the node order deterministically from the
+	// machine's seed.
+	PlaceRandom PlacementPolicy = "random"
+)
+
+// ParsePlacement parses a textual policy name; the empty string means
+// PlacePack.
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch PlacementPolicy(s) {
+	case "", PlacePack:
+		return PlacePack, nil
+	case PlaceSpread:
+		return PlaceSpread, nil
+	case PlaceRandom:
+		return PlaceRandom, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown placement policy %q (valid: pack, spread, random)", s)
+	}
+}
 
 // Config describes the machine.
 type Config struct {
@@ -51,6 +85,13 @@ func (c Config) Validate() error {
 	if err := c.Net.Validate(); err != nil {
 		return err
 	}
+	return c.validateHost()
+}
+
+// validateHost checks the non-network fields, so machine construction can
+// leave the network validation (including the topology layout build) to
+// netsim.New instead of running it twice.
+func (c Config) validateHost() error {
 	if c.SocketsPerNode <= 0 {
 		return fmt.Errorf("cluster: non-positive sockets per node %d", c.SocketsPerNode)
 	}
@@ -138,7 +179,7 @@ type Machine struct {
 
 // New builds a machine on the given kernel.
 func New(k *sim.Kernel, cfg Config) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.validateHost(); err != nil {
 		return nil, err
 	}
 	net, err := netsim.New(k, cfg.Net)
@@ -165,6 +206,47 @@ func (m *Machine) Kernel() *sim.Kernel { return m.k }
 
 // Network returns the simulated switch network.
 func (m *Machine) Network() *netsim.Network { return m.net }
+
+// Leaves returns the number of leaf switches in the machine's fabric.
+func (m *Machine) Leaves() int { return m.net.Leaves() }
+
+// LeafOf returns the leaf switch the node attaches to.
+func (m *Machine) LeafOf(node int) int { return m.net.LeafOf(node) }
+
+// NodeOrder returns the order in which nodes are filled under a placement
+// policy.  Pack is plain node order (leaf-major, since the topologies assign
+// nodes to leaves contiguously); spread round-robins across leaves; random
+// is a deterministic shuffle derived from the machine's seed.
+func (m *Machine) NodeOrder(policy PlacementPolicy) ([]int, error) {
+	n := m.cfg.Nodes()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	switch policy {
+	case "", PlacePack:
+	case PlaceSpread:
+		byLeaf := make([][]int, m.net.Leaves())
+		for i := 0; i < n; i++ {
+			leaf := m.net.LeafOf(i)
+			byLeaf[leaf] = append(byLeaf[leaf], i)
+		}
+		order = order[:0]
+		for round := 0; len(order) < n; round++ {
+			for _, nodes := range byLeaf {
+				if round < len(nodes) {
+					order = append(order, nodes[round])
+				}
+			}
+		}
+	case PlaceRandom:
+		rng := m.k.NewRand("placement")
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q", policy)
+	}
+	return order, nil
+}
 
 // CyclesToDuration converts a cycle count at the machine's clock rate into
 // virtual time.  CompressionB's "bubble" parameter B is expressed in cycles.
@@ -196,6 +278,38 @@ func (m *Machine) AllocatedJobOn(core CoreID) (string, bool) {
 // order (the paper's process mapping: e.g. 4 processes per socket on all 18
 // nodes gives 144 ranks).  It fails if any required core is already used.
 func (m *Machine) AllocateSpread(name string, ranksPerSocket, nodes int) (*Job, error) {
+	return m.allocate(name, ranksPerSocket, nodes, nil)
+}
+
+// AllocatePlaced is AllocateSpread with the node fill order chosen by a
+// placement policy over the topology's leaves.
+func (m *Machine) AllocatePlaced(name string, ranksPerSocket, nodes int, policy PlacementPolicy) (*Job, error) {
+	order, err := m.NodeOrder(policy)
+	if err != nil {
+		return nil, err
+	}
+	return m.allocate(name, ranksPerSocket, nodes, order)
+}
+
+// AllocateOnNodes places ranksPerSocket ranks per socket on exactly the given
+// nodes, in the given order.
+func (m *Machine) AllocateOnNodes(name string, ranksPerSocket int, nodes []int) (*Job, error) {
+	seen := make(map[int]bool, len(nodes))
+	for _, node := range nodes {
+		if node < 0 || node >= m.cfg.Nodes() {
+			return nil, fmt.Errorf("cluster: node %d outside [0, %d)", node, m.cfg.Nodes())
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("cluster: duplicate node %d in allocation for %q", node, name)
+		}
+		seen[node] = true
+	}
+	return m.allocate(name, ranksPerSocket, len(nodes), nodes)
+}
+
+// allocate is the shared allocation loop; order is the node fill order (nil
+// means plain 0..n-1).
+func (m *Machine) allocate(name string, ranksPerSocket, nodes int, order []int) (*Job, error) {
 	if name == "" {
 		return nil, fmt.Errorf("cluster: job needs a name")
 	}
@@ -208,10 +322,14 @@ func (m *Machine) AllocateSpread(name string, ranksPerSocket, nodes int) (*Job, 
 	var placements []Placement
 	rank := 0
 	for n := 0; n < nodes; n++ {
+		node := n
+		if order != nil {
+			node = order[n]
+		}
 		for s := 0; s < m.cfg.SocketsPerNode; s++ {
 			allocated := 0
 			for c := 0; c < m.cfg.CoresPerSocket && allocated < ranksPerSocket; c++ {
-				core := CoreID{Node: n, Socket: s, Core: c}
+				core := CoreID{Node: node, Socket: s, Core: c}
 				if _, taken := m.used[core]; taken {
 					continue
 				}
@@ -222,7 +340,7 @@ func (m *Machine) AllocateSpread(name string, ranksPerSocket, nodes int) (*Job, 
 			if allocated < ranksPerSocket {
 				// Roll back the partial allocation bookkeeping below never
 				// happened (we only commit at the end), so just fail.
-				return nil, fmt.Errorf("cluster: not enough free cores on node %d socket %d for job %q", n, s, name)
+				return nil, fmt.Errorf("cluster: not enough free cores on node %d socket %d for job %q", node, s, name)
 			}
 		}
 	}

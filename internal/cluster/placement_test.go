@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// fatTreeMachine builds a 6-node, two-leaf machine for placement tests.
+func fatTreeMachine(t *testing.T, seed int64) *Machine {
+	t.Helper()
+	cfg := CabConfig()
+	cfg.Net.Nodes = 6
+	cfg.Net.Topology = netsim.FatTree{Leaves: 2, UplinksPerLeaf: 1}
+	return MustNew(sim.NewKernel(seed), cfg)
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, s := range []string{"", "pack", "spread", "random"} {
+		if _, err := ParsePlacement(s); err != nil {
+			t.Errorf("ParsePlacement(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePlacement("diagonal"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestNodeOrderPolicies(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	if m.Leaves() != 2 || m.LeafOf(0) != 0 || m.LeafOf(5) != 1 {
+		t.Fatalf("unexpected leaf layout: leaves=%d", m.Leaves())
+	}
+
+	pack, err := m.NodeOrder(PlacePack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3, 4, 5}; !equalInts(pack, want) {
+		t.Fatalf("pack order = %v, want %v", pack, want)
+	}
+
+	spread, err := m.NodeOrder(PlaceSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 3, 1, 4, 2, 5}; !equalInts(spread, want) {
+		t.Fatalf("spread order = %v, want %v", spread, want)
+	}
+
+	// Random is a permutation, deterministic per seed, and repeatable within
+	// a machine.
+	r1, err := m.NodeOrder(PlaceRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := m.NodeOrder(PlaceRandom)
+	if !equalInts(r1, r2) {
+		t.Fatalf("random order not repeatable: %v vs %v", r1, r2)
+	}
+	other, _ := fatTreeMachine(t, 2).NodeOrder(PlaceRandom)
+	if equalInts(r1, other) {
+		t.Fatalf("random order identical across seeds: %v", r1)
+	}
+	seen := make(map[int]bool)
+	for _, n := range r1 {
+		seen[n] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("random order is not a permutation: %v", r1)
+	}
+
+	if _, err := m.NodeOrder("bogus"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestAllocatePlacedSpreadCrossesLeaves(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	packed, err := m.AllocatePlaced("packed", 1, 3, PlacePack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves := jobLeaves(m, packed); len(leaves) != 1 {
+		t.Fatalf("packed 3-node job spans leaves %v, want one leaf", leaves)
+	}
+	spread, err := m.AllocatePlaced("spread", 1, 3, PlaceSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves := jobLeaves(m, spread); len(leaves) != 2 {
+		t.Fatalf("spread 3-node job spans leaves %v, want both leaves", leaves)
+	}
+}
+
+func TestAllocateOnNodes(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	job, err := m.AllocateOnNodes("half", 2, []int{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeOf := job.NodeOf()
+	// Ranks fill the given nodes in order: 4 ranks per node (2 per socket).
+	if nodeOf[0] != 5 || nodeOf[4] != 1 || nodeOf[8] != 3 {
+		t.Fatalf("rank->node mapping %v does not follow the node list", nodeOf)
+	}
+	if _, err := m.AllocateOnNodes("dup", 1, []int{1, 1}); err == nil {
+		t.Fatal("expected error for duplicate node")
+	}
+	if _, err := m.AllocateOnNodes("range", 1, []int{9}); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+}
+
+func jobLeaves(m *Machine, j *Job) map[int]bool {
+	leaves := make(map[int]bool)
+	for _, node := range j.Nodes() {
+		leaves[m.LeafOf(node)] = true
+	}
+	return leaves
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -41,6 +41,11 @@ type Options struct {
 	MPI mpisim.Config
 	// Probe is the ImpactB configuration.
 	Probe probe.Config
+	// Placement selects how application nodes are picked across the
+	// topology's leaf switches (pack, spread or random; empty means pack,
+	// the paper's single-switch mapping).  The probe and the injector always
+	// span every node regardless, so the methodology stays topology-agnostic.
+	Placement cluster.PlacementPolicy
 	// Scale is the application problem scale.
 	Scale workload.Scale
 	// Window is the virtual-time measurement window of each run.
@@ -103,6 +108,13 @@ func (o Options) Validate() error {
 	if err := o.Machine.Validate(); err != nil {
 		return err
 	}
+	return o.validateRest()
+}
+
+// validateRest checks the non-machine options.  newMachine uses it directly
+// and leaves machine validation to cluster/netsim construction, so each
+// measurement run builds the O(nodes²) topology route table exactly once.
+func (o Options) validateRest() error {
 	if err := o.MPI.Validate(); err != nil {
 		return err
 	}
@@ -127,6 +139,9 @@ func (o Options) Validate() error {
 	if o.PhaseWindows < 0 {
 		return fmt.Errorf("core: negative phase window count %d", o.PhaseWindows)
 	}
+	if _, err := cluster.ParsePlacement(string(o.Placement)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -145,7 +160,7 @@ func (o Options) runSeed(label string) int64 {
 
 // newMachine builds a fresh kernel and machine for one measurement run.
 func (o Options) newMachine(label string) (*sim.Kernel, *cluster.Machine, error) {
-	if err := o.Validate(); err != nil {
+	if err := o.validateRest(); err != nil {
 		return nil, nil, err
 	}
 	k := sim.NewKernel(o.runSeed(label))
@@ -380,6 +395,89 @@ func Calibrate(o Options) (Calibration, error) {
 	return cal, nil
 }
 
+// Slot restricts an application to part of the machine for placed co-run
+// experiments: the machine's node order under the options' placement policy
+// is split in half, with SlotA taking the first half and SlotB the second.
+// On a two-leaf fat-tree, pack puts the two slots on different leaves while
+// spread gives both slots a footprint on both leaves.
+type Slot int
+
+const (
+	// SlotAll is the whole machine (the paper's setting).
+	SlotAll Slot = iota
+	// SlotA is the first half of the placement-policy node order.
+	SlotA
+	// SlotB is the second half of the placement-policy node order.
+	SlotB
+)
+
+// String names the slot for run-seed labels.
+func (s Slot) String() string {
+	switch s {
+	case SlotA:
+		return "halfA"
+	case SlotB:
+		return "halfB"
+	default:
+		return "all"
+	}
+}
+
+// slotNodes resolves the node list a slot may use (nil for SlotAll).  Under
+// the pack policy the split lands on the leaf boundary nearest the middle,
+// so the two slots occupy disjoint leaf sets whenever the topology allows it
+// — the property the cross-switch campaign's "same-leaf" cases rely on —
+// even when half the nodes is not a whole number of leaves.
+func slotNodes(m *cluster.Machine, policy cluster.PlacementPolicy, slot Slot) ([]int, error) {
+	if slot == SlotAll {
+		return nil, nil
+	}
+	order, err := m.NodeOrder(policy)
+	if err != nil {
+		return nil, err
+	}
+	split := len(order) / 2
+	if split < 1 {
+		return nil, fmt.Errorf("core: machine too small to split into co-run slots (%d nodes)", len(order))
+	}
+	if p, _ := cluster.ParsePlacement(string(policy)); p == cluster.PlacePack {
+		best := -1
+		for i := 1; i < len(order); i++ {
+			if m.LeafOf(order[i]) == m.LeafOf(order[i-1]) {
+				continue
+			}
+			if best < 0 || abs(i-len(order)/2) < abs(best-len(order)/2) {
+				best = i
+			}
+		}
+		if best > 0 {
+			split = best
+		}
+	}
+	if slot == SlotA {
+		return order[:split], nil
+	}
+	return order[split:], nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// slotLabel derives the run-seed label of a slotted measurement.  SlotAll
+// keeps the historical label so default-topology results are reproducible
+// across versions.
+func (o Options) slotLabel(prefix string, slot Slot, rest string) string {
+	if slot == SlotAll {
+		return prefix + "/" + rest
+	}
+	policy, _ := cluster.ParsePlacement(string(o.Placement))
+	return fmt.Sprintf("%s@%s+%s/%s", prefix, slot, policy, rest)
+}
+
 // appRun is a launched, continuously-looping application instance.
 type appRun struct {
 	app      workload.App
@@ -389,16 +487,27 @@ type appRun struct {
 	iterEnds []sim.Time
 }
 
-// launchAppLoop allocates the application's cores and starts every rank in an
-// endless iteration loop; rank 0 records the completion time of each
+// launchAppLoop allocates the application's cores (under the options'
+// placement policy, restricted to the slot's nodes) and starts every rank in
+// an endless iteration loop; rank 0 records the completion time of each
 // iteration.
-func launchAppLoop(m *cluster.Machine, mpiCfg mpisim.Config, app workload.App, class string) (*appRun, error) {
-	rps, useNodes := app.Placement(m.Config().Nodes())
-	job, err := m.AllocateSpread(class, rps, useNodes)
+func launchAppLoop(m *cluster.Machine, o Options, app workload.App, class string, slot Slot) (*appRun, error) {
+	nodes, err := slotNodes(m, o.Placement, slot)
+	if err != nil {
+		return nil, err
+	}
+	var job *cluster.Job
+	if nodes == nil {
+		rps, useNodes := app.Placement(m.Config().Nodes())
+		job, err = m.AllocatePlaced(class, rps, useNodes, o.Placement)
+	} else {
+		rps, useNodes := app.Placement(len(nodes))
+		job, err = m.AllocateOnNodes(class, rps, nodes[:useNodes])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating cores for %s: %w", class, err)
 	}
-	world, err := mpisim.NewWorld(m, job, mpiCfg)
+	world, err := mpisim.NewWorld(m, job, o.MPI)
 	if err != nil {
 		m.Release(job)
 		return nil, err
@@ -435,7 +544,13 @@ func (ar *appRun) runtime(o Options) (Runtime, error) {
 // MeasureAppImpact runs ImpactB while the application runs and returns the
 // application's impact signature (the paper's Fig. 3 measurement).
 func MeasureAppImpact(o Options, cal Calibration, app workload.App) (Signature, error) {
-	k, m, err := o.newMachine("impact/" + app.Name())
+	return MeasureAppImpactSlot(o, cal, app, SlotAll)
+}
+
+// MeasureAppImpactSlot is MeasureAppImpact with the application restricted
+// to one half of the machine (the probe still spans every node).
+func MeasureAppImpactSlot(o Options, cal Calibration, app workload.App, slot Slot) (Signature, error) {
+	k, m, err := o.newMachine(o.slotLabel("impact", slot, app.Name()))
 	if err != nil {
 		return Signature{}, err
 	}
@@ -443,7 +558,7 @@ func MeasureAppImpact(o Options, cal Calibration, app workload.App) (Signature, 
 	if err != nil {
 		return Signature{}, err
 	}
-	if _, err := launchAppLoop(m, o.MPI, app, app.Name()); err != nil {
+	if _, err := launchAppLoop(m, o, app, app.Name(), slot); err != nil {
 		return Signature{}, err
 	}
 	runWindow(k, o.Window)
@@ -472,11 +587,18 @@ func MeasureInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signa
 // MeasureAppBaseline measures an application's iteration rate with the switch
 // to itself.
 func MeasureAppBaseline(o Options, app workload.App) (Runtime, error) {
-	k, m, err := o.newMachine("baseline/" + app.Name())
+	return MeasureAppBaselineSlot(o, app, SlotAll)
+}
+
+// MeasureAppBaselineSlot is MeasureAppBaseline with the application
+// restricted to one half of the machine, the baseline every placed co-run
+// measurement is judged against.
+func MeasureAppBaselineSlot(o Options, app workload.App, slot Slot) (Runtime, error) {
+	k, m, err := o.newMachine(o.slotLabel("baseline", slot, app.Name()))
 	if err != nil {
 		return Runtime{}, err
 	}
-	ar, err := launchAppLoop(m, o.MPI, app, app.Name())
+	ar, err := launchAppLoop(m, o, app, app.Name(), slot)
 	if err != nil {
 		return Runtime{}, err
 	}
@@ -488,14 +610,21 @@ func MeasureAppBaseline(o Options, app workload.App) (Runtime, error) {
 // CompressionB configuration removes part of the switch capability (the
 // paper's compression experiment, Fig. 7).
 func MeasureAppUnderInjector(o Options, app workload.App, cfg inject.Config) (Runtime, error) {
-	k, m, err := o.newMachine("compress/" + app.Name() + "/" + cfg.Label())
+	return MeasureAppUnderInjectorSlot(o, app, cfg, SlotAll)
+}
+
+// MeasureAppUnderInjectorSlot is MeasureAppUnderInjector with the
+// application restricted to one half of the machine (the injector still
+// spans every node, removing capability fabric-wide).
+func MeasureAppUnderInjectorSlot(o Options, app workload.App, cfg inject.Config, slot Slot) (Runtime, error) {
+	k, m, err := o.newMachine(o.slotLabel("compress", slot, app.Name()+"/"+cfg.Label()))
 	if err != nil {
 		return Runtime{}, err
 	}
 	if _, err := inject.Launch(m, o.MPI, cfg); err != nil {
 		return Runtime{}, err
 	}
-	ar, err := launchAppLoop(m, o.MPI, app, app.Name())
+	ar, err := launchAppLoop(m, o, app, app.Name(), slot)
 	if err != nil {
 		return Runtime{}, err
 	}
@@ -507,7 +636,22 @@ func MeasureAppUnderInjector(o Options, app workload.App, cfg inject.Config) (Ru
 // switch (the ground truth of the paper's Table I).  Both run in continuous
 // loops for the whole window.
 func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
-	k, m, err := o.newMachine("pair/" + appA.Name() + "+" + appB.Name())
+	return measureAppPair(o, "pair/"+appA.Name()+"+"+appB.Name(), appA, appB, SlotAll, SlotAll)
+}
+
+// MeasureAppPairPlaced measures a co-run with each application restricted to
+// one half of the machine's placement-policy node order: appA in SlotA, appB
+// in SlotB.  On a multi-leaf topology this is the cross-switch ground truth —
+// pack keeps the two jobs on disjoint leaves, spread interleaves both across
+// every leaf so they contend on the spine trunks.
+func MeasureAppPairPlaced(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
+	policy, _ := cluster.ParsePlacement(string(o.Placement))
+	label := fmt.Sprintf("pairx/%s/%s+%s", policy, appA.Name(), appB.Name())
+	return measureAppPair(o, label, appA, appB, SlotA, SlotB)
+}
+
+func measureAppPair(o Options, label string, appA, appB workload.App, slotA, slotB Slot) (Runtime, Runtime, error) {
+	k, m, err := o.newMachine(label)
 	if err != nil {
 		return Runtime{}, Runtime{}, err
 	}
@@ -515,11 +659,11 @@ func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error
 	if classA == classB {
 		classB = classB + "#2"
 	}
-	runA, err := launchAppLoop(m, o.MPI, appA, classA)
+	runA, err := launchAppLoop(m, o, appA, classA, slotA)
 	if err != nil {
 		return Runtime{}, Runtime{}, err
 	}
-	runB, err := launchAppLoop(m, o.MPI, appB, classB)
+	runB, err := launchAppLoop(m, o, appB, classB, slotB)
 	if err != nil {
 		return Runtime{}, Runtime{}, err
 	}
@@ -542,7 +686,15 @@ func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error
 // they are measured here.
 func BuildProfile(o Options, cal Calibration, app workload.App, grid []inject.Config,
 	injSignatures map[string]Signature) (Profile, error) {
-	baseline, err := MeasureAppBaseline(o, app)
+	return BuildProfileSlot(o, cal, app, grid, injSignatures, SlotAll)
+}
+
+// BuildProfileSlot is BuildProfile with the application restricted to one
+// half of the machine; injector signatures are slot-independent (the
+// injector spans every node) and can be shared across slots and placements.
+func BuildProfileSlot(o Options, cal Calibration, app workload.App, grid []inject.Config,
+	injSignatures map[string]Signature, slot Slot) (Profile, error) {
+	baseline, err := MeasureAppBaselineSlot(o, app, slot)
 	if err != nil {
 		return Profile{}, err
 	}
@@ -555,7 +707,7 @@ func BuildProfile(o Options, cal Calibration, app workload.App, grid []inject.Co
 				return Profile{}, err
 			}
 		}
-		rt, err := MeasureAppUnderInjector(o, app, cfg)
+		rt, err := MeasureAppUnderInjectorSlot(o, app, cfg, slot)
 		if err != nil {
 			return Profile{}, err
 		}

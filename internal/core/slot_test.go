@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// slotMachine builds a 6-node machine with the given number of fat-tree
+// leaves.
+func slotMachine(t *testing.T, leaves int) *cluster.Machine {
+	t.Helper()
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 6
+	cfg.Net.Topology = netsim.FatTree{Leaves: leaves, UplinksPerLeaf: 1}
+	return cluster.MustNew(sim.NewKernel(1), cfg)
+}
+
+// leafSet returns the distinct leaves the nodes touch.
+func leafSet(m *cluster.Machine, nodes []int) map[int]bool {
+	leaves := make(map[int]bool)
+	for _, n := range nodes {
+		leaves[m.LeafOf(n)] = true
+	}
+	return leaves
+}
+
+// TestSlotNodesPackDisjointLeaves verifies the property the cross-switch
+// campaign's "same-leaf" cases rest on: under the pack policy the two slots
+// occupy disjoint leaf sets, including leaf counts where half the nodes is
+// not a whole number of leaves.
+func TestSlotNodesPackDisjointLeaves(t *testing.T) {
+	for _, leaves := range []int{2, 3} {
+		m := slotMachine(t, leaves)
+		a, err := slotNodes(m, cluster.PlacePack, SlotA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := slotNodes(m, cluster.PlacePack, SlotB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a)+len(b) != 6 || len(a) == 0 || len(b) == 0 {
+			t.Fatalf("leaves=%d: slots %v + %v do not partition the machine", leaves, a, b)
+		}
+		la, lb := leafSet(m, a), leafSet(m, b)
+		for leaf := range la {
+			if lb[leaf] {
+				t.Fatalf("leaves=%d: packed slots %v and %v share leaf %d", leaves, a, b, leaf)
+			}
+		}
+	}
+}
+
+// TestSlotNodesSpreadStraddlesLeaves verifies the opposite property for the
+// spread policy: both slots have a footprint on every leaf.
+func TestSlotNodesSpreadStraddlesLeaves(t *testing.T) {
+	m := slotMachine(t, 2)
+	for _, slot := range []Slot{SlotA, SlotB} {
+		nodes, err := slotNodes(m, cluster.PlaceSpread, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(leafSet(m, nodes)); got != 2 {
+			t.Fatalf("spread slot %v touches %d leaves, want 2 (nodes %v)", slot, got, nodes)
+		}
+	}
+}
+
+// TestSlotNodesAll keeps SlotAll meaning "no restriction".
+func TestSlotNodesAll(t *testing.T) {
+	m := slotMachine(t, 2)
+	nodes, err := slotNodes(m, cluster.PlacePack, SlotAll)
+	if err != nil || nodes != nil {
+		t.Fatalf("SlotAll = %v, %v; want nil, nil", nodes, err)
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// The xswitch campaign takes the paper's methodology beyond its single
+// switch: a target and a co-runner each get one half of a fat-tree machine,
+// and the campaign measures — for a sweep of leaf oversubscription ratios
+// and for packed vs. spread placement — how much the co-runner actually
+// slows the target down, and how well the paper's predictors (whose probe
+// and injector span the whole fabric) anticipate it.  Pack keeps the two
+// jobs on disjoint leaves, so at any oversubscription they barely share
+// links; spread interleaves both across every leaf, so their traffic meets
+// on the leaf↔spine trunks and the slowdown grows with oversubscription.
+
+// XSwitchPoint is one (oversubscription, placement) case of the campaign.
+type XSwitchPoint struct {
+	// Uplinks is the number of leaf→spine trunks per leaf.
+	Uplinks int
+	// Oversubscription is nodes-per-leaf / uplinks (1 = non-blocking).
+	Oversubscription float64
+	// Placement is the node-order policy both jobs were placed with.
+	Placement cluster.PlacementPolicy
+	// BaselineIterMs is the target's per-iteration time (ms) alone in its
+	// slot.
+	BaselineIterMs float64
+	// MeasuredPct is the target's measured co-run degradation.
+	MeasuredPct float64
+	// PredictedPct and AbsErrPct map each model to its prediction and
+	// absolute error.
+	PredictedPct map[string]float64
+	AbsErrPct    map[string]float64
+}
+
+// XSwitchResult is the full campaign.
+type XSwitchResult struct {
+	Target, CoRunner string
+	Leaves           int
+	Models           []string
+	Points           []XSwitchPoint
+}
+
+// xswitchTopology resolves the fat-tree the campaign runs on: the suite's
+// configured topology if it already is a fat-tree, otherwise a default
+// two-leaf fabric.
+func (s *Suite) xswitchTopology() netsim.FatTree {
+	if ft, ok := s.cfg.Options.Machine.Net.Topology.(netsim.FatTree); ok {
+		return ft
+	}
+	return netsim.FatTree{Leaves: 2}
+}
+
+// xswitchSweep returns the uplink counts to measure, from non-blocking (one
+// uplink per node) down to a single shared trunk, always including the
+// configured value (even an over-provisioned one — the fabric the user asked
+// for must appear in the table).
+func xswitchSweep(ft netsim.FatTree, nodes int) []int {
+	perLeaf := ft.NodesPerLeaf(nodes)
+	set := map[int]bool{perLeaf: true, 1: true}
+	if ft.UplinksPerLeaf > 0 {
+		set[ft.UplinksPerLeaf] = true
+	}
+	var sweep []int
+	for u := range set {
+		sweep = append(sweep, u)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sweep)))
+	return sweep
+}
+
+// XSwitch runs the cross-switch campaign for the named target and co-runner.
+func (s *Suite) XSwitch(targetName, coName string) (XSwitchResult, error) {
+	target, err := workload.ByName(targetName, s.cfg.Scale)
+	if err != nil {
+		return XSwitchResult{}, err
+	}
+	coRunner, err := workload.ByName(coName, s.cfg.Scale)
+	if err != nil {
+		return XSwitchResult{}, err
+	}
+	ft := s.xswitchTopology()
+	nodes := s.cfg.Options.Machine.Net.Nodes
+	if _, err := (netsim.FatTree{Leaves: ft.Leaves}).Build(nodes); err != nil {
+		return XSwitchResult{}, err
+	}
+	sweep := xswitchSweep(ft, nodes)
+	// The pack/spread contrast is the campaign's point; a different
+	// configured policy (random) is measured as a third row per fabric.
+	placements := []cluster.PlacementPolicy{cluster.PlacePack, cluster.PlaceSpread}
+	if p, err := cluster.ParsePlacement(string(s.cfg.Options.Placement)); err == nil &&
+		p != cluster.PlacePack && p != cluster.PlaceSpread {
+		placements = append(placements, p)
+	}
+	models := model.All()
+	res := XSwitchResult{Target: target.Name(), CoRunner: coRunner.Name(), Leaves: ft.Leaves}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name())
+	}
+
+	// One task per uplink count, so the per-fabric calibration and injector
+	// signatures are measured once and shared by both placements.
+	points := make([][]XSwitchPoint, len(sweep))
+	err = s.runParallel(len(sweep), func(i int) error {
+		u := sweep[i]
+		o := s.cfg.Options
+		topo := netsim.FatTree{Leaves: ft.Leaves, UplinksPerLeaf: u}
+		o.Machine.Net.Topology = topo
+		cal, err := core.Calibrate(o)
+		if err != nil {
+			return fmt.Errorf("xswitch uplinks=%d: %w", u, err)
+		}
+		injSigs := make(map[string]core.Signature, len(s.cfg.ProfileGrid))
+		for _, cfg := range s.cfg.ProfileGrid {
+			sig, err := core.MeasureInjectorImpact(o, cal, cfg)
+			if err != nil {
+				return fmt.Errorf("xswitch uplinks=%d: %w", u, err)
+			}
+			injSigs[cfg.Label()] = sig
+		}
+		for _, policy := range placements {
+			op := o
+			op.Placement = policy
+			coSig, err := core.MeasureAppImpactSlot(op, cal, coRunner, core.SlotB)
+			if err != nil {
+				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+			}
+			prof, err := core.BuildProfileSlot(op, cal, target, s.cfg.ProfileGrid, injSigs, core.SlotA)
+			if err != nil {
+				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+			}
+			ra, _, err := core.MeasureAppPairPlaced(op, target, coRunner)
+			if err != nil {
+				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+			}
+			pt := XSwitchPoint{
+				Uplinks:          u,
+				Oversubscription: topo.Oversubscription(nodes),
+				Placement:        policy,
+				BaselineIterMs:   prof.Baseline.TimePerIteration.Seconds() * 1e3,
+				MeasuredPct:      core.DegradationPercent(prof.Baseline, ra),
+				PredictedPct:     make(map[string]float64, len(models)),
+				AbsErrPct:        make(map[string]float64, len(models)),
+			}
+			for _, m := range models {
+				pred, err := m.Predict(prof, coSig)
+				if err != nil {
+					return fmt.Errorf("xswitch uplinks=%d %s %s: %w", u, policy, m.Name(), err)
+				}
+				pt.PredictedPct[m.Name()] = pred
+				pt.AbsErrPct[m.Name()] = math.Abs(pred - pt.MeasuredPct)
+			}
+			points[i] = append(points[i], pt)
+		}
+		return nil
+	})
+	if err != nil {
+		return XSwitchResult{}, err
+	}
+	for _, pts := range points {
+		res.Points = append(res.Points, pts...)
+	}
+	return res, nil
+}
+
+// DegradationBy returns the measured degradation of the first point matching
+// the given uplink count and placement, for tests and summaries.
+func (r XSwitchResult) DegradationBy(uplinks int, placement cluster.PlacementPolicy) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Uplinks == uplinks && p.Placement == placement {
+			return p.MeasuredPct, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+)
+
+func TestXSwitchSweep(t *testing.T) {
+	ft := netsim.FatTree{Leaves: 2, UplinksPerLeaf: 2}
+	sweep := xswitchSweep(ft, 6)
+	if want := []int{3, 2, 1}; len(sweep) != 3 || sweep[0] != want[0] || sweep[1] != want[1] || sweep[2] != want[2] {
+		t.Fatalf("sweep = %v, want %v", sweep, want)
+	}
+	// Without a configured uplink count only the non-blocking and the fully
+	// shared fabric are measured.
+	sweep = xswitchSweep(netsim.FatTree{Leaves: 2}, 6)
+	if len(sweep) != 2 || sweep[0] != 3 || sweep[1] != 1 {
+		t.Fatalf("default sweep = %v, want [3 1]", sweep)
+	}
+}

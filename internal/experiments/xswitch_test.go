@@ -1,0 +1,120 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	. "github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/report"
+)
+
+// xswitchTestConfig returns a trimmed ci-preset configuration on a two-leaf
+// fat-tree so the campaign stays fast enough for unit tests.
+func xswitchTestConfig(t *testing.T, uplinks int) Config {
+	t.Helper()
+	cfg := MustNewConfig(PresetCI, 1)
+	cfg.Options.Machine.Net.Topology = netsim.FatTree{Leaves: 2, UplinksPerLeaf: uplinks}
+	cfg.ProfileGrid = inject.ReducedGrid()[:2]
+	return cfg
+}
+
+func TestXSwitchRejectsUnknownApps(t *testing.T) {
+	s := NewSuite(xswitchTestConfig(t, 2))
+	if _, err := s.XSwitch("NoSuchApp", "VPFFT"); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+	if _, err := s.XSwitch("FFTW", "NoSuchApp"); err == nil {
+		t.Fatal("expected error for unknown co-runner")
+	}
+}
+
+// TestXSwitchCrossLeafWorseThanSameLeaf is the campaign's headline property:
+// on an oversubscribed fabric, spreading both jobs across the leaves (so
+// their traffic contends on the spine trunks) must degrade the target
+// measurably more than packing each job on its own leaf, while the
+// non-blocking (1:1) fabric keeps even the spread placement close to
+// baseline.
+func TestXSwitchCrossLeafWorseThanSameLeaf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping xswitch campaign in -short mode")
+	}
+	s := NewSuite(xswitchTestConfig(t, 1))
+	r, err := s.XSwitch("FFTW", "VPFFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 { // uplinks {3,1} x placements {pack,spread}
+		t.Fatalf("campaign has %d points, want 4", len(r.Points))
+	}
+	packOver, ok := r.DegradationBy(1, cluster.PlacePack)
+	if !ok {
+		t.Fatal("missing pack point at 1 uplink")
+	}
+	spreadOver, ok := r.DegradationBy(1, cluster.PlaceSpread)
+	if !ok {
+		t.Fatal("missing spread point at 1 uplink")
+	}
+	if spreadOver < packOver+10 {
+		t.Fatalf("oversubscribed spread degradation %.1f%% not measurably worse than pack %.1f%%",
+			spreadOver, packOver)
+	}
+	spreadFlat, ok := r.DegradationBy(3, cluster.PlaceSpread)
+	if !ok {
+		t.Fatal("missing spread point at 3 uplinks")
+	}
+	if spreadFlat > spreadOver/2 {
+		t.Fatalf("non-blocking fabric degradation %.1f%% not well below oversubscribed %.1f%%",
+			spreadFlat, spreadOver)
+	}
+	for _, m := range r.Models {
+		for _, p := range r.Points {
+			if _, ok := p.PredictedPct[m]; !ok {
+				t.Fatalf("point %+v missing prediction for %s", p, m)
+			}
+		}
+	}
+}
+
+// TestDeterministicCSVAcrossRuns is the determinism regression: the same
+// seed must produce byte-identical CSV output on the star and on the
+// fat-tree, no matter how often the campaign runs (no experiment may touch
+// the global math/rand source or leak goroutine scheduling into results).
+func TestDeterministicCSVAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping determinism regression in -short mode")
+	}
+	starCSV := func() []byte {
+		s := NewSuite(MustNewConfig(PresetCI, 1))
+		r, err := s.Fig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.Fig3Table(r).WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := starCSV(), starCSV(); !bytes.Equal(a, b) {
+		t.Fatal("star fig3 CSV differs between runs with the same seed")
+	}
+
+	fattreeCSV := func() []byte {
+		s := NewSuite(xswitchTestConfig(t, 1))
+		r, err := s.XSwitch("FFTW", "VPFFT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.XSwitchTable(r).WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := fattreeCSV(), fattreeCSV(); !bytes.Equal(a, b) {
+		t.Fatal("fat-tree xswitch CSV differs between runs with the same seed")
+	}
+}

@@ -1,24 +1,29 @@
-// Package netsim simulates a single network switch connecting a set of
-// compute nodes, at packet granularity, on top of the discrete-event kernel.
+// Package netsim simulates the network connecting a set of compute nodes, at
+// packet granularity, on top of the discrete-event kernel.
 //
-// The model reproduces the pieces of a real InfiniBand-class switch (the
-// QLogic 12300 used on LLNL's Cab cluster) that matter for the paper's
+// The model reproduces the pieces of a real InfiniBand-class fabric (the
+// QLogic QDR hardware of LLNL's Cab cluster) that matter for the paper's
 // active-measurement methodology:
 //
-//   - Each node has one uplink to the switch shared by every process on the
+//   - Each node has one uplink into the fabric shared by every process on the
 //     node.  The NIC arbitrates between per-flow queues in round-robin order,
 //     so a small probe packet is never stuck behind an entire bulk message
 //     from another process.
-//   - The switch forwards packets through a routing stage with a small,
-//     stochastic per-packet overhead (including a rare heavy tail, which the
-//     paper observes even on an idle switch).
-//   - Each destination node has an egress port with a finite buffer drained
-//     at link rate.  When a buffer is full, upstream NICs stall — the
-//     credit-based flow control that keeps latencies bounded and slows
-//     senders down when the switch saturates.
+//   - Every switch traversal adds a routing overhead with a small, stochastic
+//     per-packet component (including a rare heavy tail, which the paper
+//     observes even on an idle switch).
+//   - Every switch output port — a node's egress port or an inter-switch
+//     trunk — has a finite buffer drained at link rate.  When a buffer is
+//     full, upstream transmitters stall: the credit-based flow control that
+//     keeps latencies bounded and slows senders down when the fabric
+//     saturates.
 //
-// Probe latency therefore grows smoothly with offered load, which is exactly
-// the signal the ImpactB benchmark measures.
+// Which ports a packet crosses is decided by a pluggable Topology (see
+// topology.go): the paper's single switch (Star) or a two-stage fat-tree
+// with tunable oversubscription (FatTree).  The per-hop machinery — Link
+// serialization, SwitchPort queueing and credits — is shared by every
+// topology, so probe latency grows smoothly with offered load on any fabric,
+// which is exactly the signal the ImpactB benchmark measures.
 package netsim
 
 import (
@@ -28,36 +33,38 @@ import (
 	"github.com/hpcperf/switchprobe/internal/sim"
 )
 
-// Config describes the switch and its links.
+// Config describes the fabric and its links.
 type Config struct {
-	// Nodes is the number of compute nodes attached to the switch.
+	// Nodes is the number of compute nodes attached to the fabric.
 	Nodes int
-	// LinkBandwidth is the bandwidth of each node's uplink and downlink in
-	// bytes per second.
+	// LinkBandwidth is the bandwidth of every link (node uplinks/downlinks
+	// and inter-switch trunks) in bytes per second.
 	LinkBandwidth float64
 	// MTU is the maximum packet payload in bytes; larger messages are
 	// segmented.
 	MTU int
-	// WireDelay is the propagation delay of one link traversal (node→switch
-	// or switch→node).
+	// WireDelay is the propagation delay of one link traversal.
 	WireDelay sim.Duration
-	// FabricDelay is the mean per-packet routing/forwarding overhead inside
-	// the switch.
+	// FabricDelay is the mean per-packet routing/forwarding overhead of one
+	// switch traversal.
 	FabricDelay sim.Duration
 	// FabricJitter is the half-width of the uniform jitter added to
 	// FabricDelay.
 	FabricJitter sim.Duration
-	// TailProb is the probability that a packet experiences an additional
-	// exponentially-distributed delay of mean TailDelay inside the switch
-	// (buffer conflicts, arbitration misses).  This produces the small
-	// high-latency tail visible on an idle switch.
+	// TailProb is the probability that a switch traversal adds an
+	// exponentially-distributed delay of mean TailDelay (buffer conflicts,
+	// arbitration misses).  This produces the small high-latency tail visible
+	// on an idle switch.
 	TailProb float64
 	// TailDelay is the mean of the heavy-tail delay component.
 	TailDelay sim.Duration
-	// EgressBufferBytes is the per-output-port buffer size.  Zero means
-	// unlimited buffering (no back-pressure), which is physically unrealistic
-	// but useful as an ablation.
+	// EgressBufferBytes is the per-output-port buffer size (egress ports and
+	// trunks alike).  Zero means unlimited buffering (no back-pressure),
+	// which is physically unrealistic but useful as an ablation.
 	EgressBufferBytes int
+	// Topology selects the fabric layout connecting the nodes; nil means the
+	// paper's single switch (Star).
+	Topology Topology
 }
 
 // CabConfig returns a configuration modelled after one bottom-level switch of
@@ -77,8 +84,30 @@ func CabConfig() Config {
 	}
 }
 
+// topology resolves the configured topology, defaulting to the single
+// switch.
+func (c Config) topology() Topology {
+	if c.Topology == nil {
+		return Star{}
+	}
+	return c.Topology
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
+	if err := c.validateScalars(); err != nil {
+		return err
+	}
+	if _, err := c.topology().Build(c.Nodes); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateScalars checks everything but the topology layout, so Network
+// construction can validate without building the O(nodes²) route table
+// twice.
+func (c Config) validateScalars() error {
 	if c.Nodes < 2 {
 		return fmt.Errorf("netsim: need at least 2 nodes, have %d", c.Nodes)
 	}
@@ -123,6 +152,18 @@ type Delivery struct {
 // Latency returns the packet's one-way latency.
 func (d Delivery) Latency() sim.Duration { return d.Arrived.Sub(d.Sent) }
 
+// Link models one transmission medium: serialization at Bandwidth followed
+// by a fixed propagation delay.
+type Link struct {
+	Bandwidth float64
+	Delay     sim.Duration
+}
+
+// Serialization returns the time to push size bytes onto the link.
+func (l Link) Serialization(size int) sim.Duration {
+	return sim.Duration(float64(size) / l.Bandwidth * float64(sim.Second))
+}
+
 // packet is the unit of transfer inside the simulator.  Packets are drawn
 // from a per-network free list and recycled after delivery, so steady-state
 // traffic allocates nothing.
@@ -133,6 +174,20 @@ type packet struct {
 	sent      sim.Time
 	onDeliver func(Delivery)
 	msg       *messageState
+	// route is the shared, read-only port sequence the packet traverses
+	// (ending at dst's egress port); hop indexes the port it is at or headed
+	// to.
+	route []*SwitchPort
+	hop   int
+}
+
+// nextHop returns the port the packet visits after the current one, nil at
+// the final egress port.
+func (p *packet) nextHop() *SwitchPort {
+	if p.hop+1 < len(p.route) {
+		return p.route[p.hop+1]
+	}
+	return nil
 }
 
 // messageState tracks the remaining packets of a segmented message.  Pooled
@@ -171,6 +226,12 @@ func (q *pktQueue) pop() *packet {
 	return p
 }
 
+// sender is an upstream transmitter — a NIC or a switch port — that can
+// stall on a full downstream buffer and is retried when credits return.
+type sender interface {
+	resume(n *Network)
+}
+
 // flowQueue is one per-flow FIFO at a node's NIC.
 type flowQueue struct {
 	flow Flow
@@ -181,6 +242,7 @@ type flowQueue struct {
 // onto the uplink.
 type nic struct {
 	node    int
+	link    Link
 	queues  []*flowQueue
 	byFlow  map[Flow]*flowQueue
 	next    int // round-robin cursor into queues
@@ -189,41 +251,76 @@ type nic struct {
 	stalled bool
 }
 
-// egressPort models one switch output port and its downlink.
-type egressPort struct {
-	node     int
+// resume implements sender.
+func (nc *nic) resume(n *Network) { n.tryStartUplink(nc) }
+
+// SwitchPort is one output port of a switch: a finite input buffer governed
+// by credits, a FIFO of packets awaiting transmission, and the link the port
+// drains onto.  Egress ports deliver to a node; trunk ports forward to the
+// next switch stage.
+type SwitchPort struct {
+	label    string
+	node     int // destination node for egress ports, -1 for trunks
+	link     Link
+	capacity int // input buffer bytes; 0 = unlimited
+
 	queue    pktQueue
 	buffered int
 	busy     bool
 	busyNS   sim.Duration
-	// waiters are NICs stalled on this port, retried in stall order so no
-	// node starves when the port is saturated.
-	waiters []*nic
-	waiting map[*nic]bool
+
+	// waiters are transmitters stalled on this port's buffer, retried in
+	// stall order so no sender starves when the port is saturated.
+	waiters []sender
+	waiting map[sender]bool
 }
 
-// Network is the simulated single-switch network.
+// Label names the port ("down3" for node 3's egress, "leaf0.up1" for a
+// trunk).
+func (pt *SwitchPort) Label() string { return pt.label }
+
+// BusyTime returns the port's cumulative transmission time.
+func (pt *SwitchPort) BusyTime() sim.Duration { return pt.busyNS }
+
+// hasRoom reports whether the port's input buffer can accept size more
+// bytes.
+func (pt *SwitchPort) hasRoom(size int) bool {
+	return pt.capacity == 0 || pt.buffered+size <= pt.capacity
+}
+
+// resume implements sender.
+func (pt *SwitchPort) resume(n *Network) { n.tryStartPort(pt) }
+
+// Network is the simulated fabric: NICs, switch ports and the routes between
+// them, laid out by the configured topology.
 type Network struct {
 	k      *sim.Kernel
 	cfg    Config
+	topo   Topology
+	layout Layout
 	rng    *rand.Rand
 	nics   []*nic
-	egress []*egressPort
+	egress []*SwitchPort // per-node egress ports
+	trunks []*SwitchPort // inter-switch ports (empty for Star)
+	// routes[src*Nodes+dst] is the shared port sequence between the pair,
+	// ending at dst's egress port; resolved once at construction so the
+	// per-packet path costs one slice-header copy.
+	routes [][]*SwitchPort
 
 	observers []func(Delivery)
 
 	// Free lists and scratch space for the per-packet pipeline.
 	pktFree []*packet
 	msgFree []*messageState
-	blocked []*egressPort // scratch for tryStartUplink's blocked-port scan
+	blocked []*SwitchPort // scratch for tryStartUplink's blocked-port scan
 
 	// Pipeline-stage callbacks bound once at construction; every per-packet
 	// event is scheduled through sim.Kernel.Call with one of these, so no
 	// closures are allocated on the hot path.
-	uplinkDoneFn    func(any)
-	enqueueEgressFn func(any)
-	egressDoneFn    func(any)
-	deliverFn       func(any)
+	uplinkDoneFn func(any)
+	arriveFn     func(any)
+	portDoneFn   func(any)
+	deliverFn    func(any)
 
 	// Statistics.
 	packetsDelivered int64
@@ -234,15 +331,26 @@ type Network struct {
 
 // New creates a network attached to kernel k.
 func New(k *sim.Kernel, cfg Config) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.validateScalars(); err != nil {
+		return nil, err
+	}
+	topo := cfg.topology()
+	layout, err := topo.Build(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout.validate(cfg.Nodes); err != nil {
 		return nil, err
 	}
 	n := &Network{
 		k:            k,
 		cfg:          cfg,
+		topo:         topo,
+		layout:       layout,
 		rng:          k.NewRand("netsim"),
 		bytesByClass: make(map[string]int64),
 	}
+	link := Link{Bandwidth: cfg.LinkBandwidth, Delay: cfg.WireDelay}
 	queueCap := 16
 	if cfg.EgressBufferBytes > 0 {
 		if c := cfg.EgressBufferBytes/cfg.MTU + 1; c > queueCap {
@@ -250,18 +358,43 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n.nics = append(n.nics, &nic{node: i, byFlow: make(map[Flow]*flowQueue)})
-		n.egress = append(n.egress, &egressPort{
-			node:    i,
-			queue:   pktQueue{buf: make([]*packet, 0, queueCap)},
-			waiting: make(map[*nic]bool),
-		})
+		n.nics = append(n.nics, &nic{node: i, link: link, byFlow: make(map[Flow]*flowQueue)})
+		n.egress = append(n.egress, n.newPort(fmt.Sprintf("down%d", i), i, link, queueCap))
+	}
+	for _, spec := range layout.Trunks {
+		n.trunks = append(n.trunks, n.newPort(spec.Label, -1, link, queueCap))
+	}
+	n.routes = make([][]*SwitchPort, cfg.Nodes*cfg.Nodes)
+	for src := 0; src < cfg.Nodes; src++ {
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			hops := layout.Routes[src*cfg.Nodes+dst]
+			route := make([]*SwitchPort, 0, len(hops)+1)
+			for _, h := range hops {
+				route = append(route, n.trunks[h])
+			}
+			n.routes[src*cfg.Nodes+dst] = append(route, n.egress[dst])
+		}
 	}
 	n.uplinkDoneFn = func(a any) { n.uplinkDone(a.(*packet)) }
-	n.enqueueEgressFn = func(a any) { n.enqueueEgress(a.(*packet)) }
-	n.egressDoneFn = func(a any) { n.egressDone(a.(*packet)) }
+	n.arriveFn = func(a any) { n.arrive(a.(*packet)) }
+	n.portDoneFn = func(a any) { n.portDone(a.(*packet)) }
 	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
 	return n, nil
+}
+
+// newPort builds one switch output port.
+func (n *Network) newPort(label string, node int, link Link, queueCap int) *SwitchPort {
+	return &SwitchPort{
+		label:    label,
+		node:     node,
+		link:     link,
+		capacity: n.cfg.EgressBufferBytes,
+		queue:    pktQueue{buf: make([]*packet, 0, queueCap)},
+		waiting:  make(map[sender]bool),
+	}
 }
 
 // getPacket serves a packet struct, preferring the free list.
@@ -278,6 +411,7 @@ func (n *Network) getPacket() *packet {
 func (n *Network) putPacket(p *packet) {
 	p.onDeliver = nil
 	p.msg = nil
+	p.route = nil
 	n.pktFree = append(n.pktFree, p)
 }
 
@@ -314,12 +448,25 @@ func (n *Network) Config() Config { return n.cfg }
 // Nodes returns the number of attached nodes.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
+// Topology returns the fabric layout the network was built with.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Leaves returns the number of bottom-level switches.
+func (n *Network) Leaves() int { return n.layout.Leaves }
+
+// LeafOf returns the leaf switch the node's uplink attaches to.
+func (n *Network) LeafOf(node int) int { return n.layout.LeafOf[node] }
+
+// PathHops returns the number of switch output ports a packet from src to
+// dst crosses (1 on a single switch, 3 across a fat-tree's spine).
+func (n *Network) PathHops(src, dst int) int { return len(n.routes[src*n.cfg.Nodes+dst]) }
+
 // Observe registers fn to be called for every delivered packet.
 func (n *Network) Observe(fn func(Delivery)) { n.observers = append(n.observers, fn) }
 
 // serialization returns the time to push size bytes over one link.
 func (n *Network) serialization(size int) sim.Duration {
-	return sim.Duration(float64(size) / n.cfg.LinkBandwidth * float64(sim.Second))
+	return Link{Bandwidth: n.cfg.LinkBandwidth}.Serialization(size)
 }
 
 // SendMessage injects a message of size bytes from node src to node dst on
@@ -358,6 +505,7 @@ func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState)
 	npkts := (size + n.cfg.MTU - 1) / n.cfg.MTU
 	ms.remaining = npkts
 	nc, fq := n.flowQueueFor(src, flow)
+	route := n.routes[src*n.cfg.Nodes+dst]
 	now := n.k.Now()
 	remaining := size
 	for i := 0; i < npkts; i++ {
@@ -368,6 +516,7 @@ func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState)
 		remaining -= psize
 		p := n.getPacket()
 		p.src, p.dst, p.size, p.flow, p.sent, p.msg = src, dst, psize, flow, now, ms
+		p.route, p.hop = route, 0
 		fq.q.push(p)
 	}
 	n.tryStartUplink(nc)
@@ -386,6 +535,7 @@ func (n *Network) SendProbe(src, dst, size int, flow Flow, onDeliver func(Delive
 	}
 	p := n.getPacket()
 	p.src, p.dst, p.size, p.flow, p.sent, p.onDeliver = src, dst, size, flow, n.k.Now(), onDeliver
+	p.route, p.hop = n.routes[src*n.cfg.Nodes+dst], 0
 	n.inject(p)
 	return nil
 }
@@ -422,8 +572,10 @@ func (n *Network) inject(p *packet) {
 }
 
 // tryStartUplink starts transmitting the next admissible packet from the
-// NIC's flow queues, in round-robin order.  If every candidate packet heads
-// to a full egress buffer the NIC stalls until space frees up.
+// NIC's flow queues, in round-robin order.  Admission is governed by the
+// first port on the packet's route (the destination's egress port on a
+// single switch, a leaf uplink across the spine): if every candidate packet
+// heads to a full buffer the NIC stalls until space frees up.
 func (n *Network) tryStartUplink(nc *nic) {
 	if nc.busy {
 		return
@@ -444,9 +596,9 @@ func (n *Network) tryStartUplink(nc *nic) {
 			continue
 		}
 		p := fq.q.front()
-		eg := n.egress[p.dst]
-		if n.cfg.EgressBufferBytes > 0 && eg.buffered+p.size > n.cfg.EgressBufferBytes {
-			blocked = append(blocked, eg)
+		first := p.route[0]
+		if !first.hasRoom(p.size) {
+			blocked = append(blocked, first)
 			continue
 		}
 		chosen = fq.q.pop()
@@ -459,13 +611,13 @@ func (n *Network) tryStartUplink(nc *nic) {
 	if chosen == nil {
 		if len(blocked) > 0 {
 			// Head-of-line stall: register for wake-up on every blocking port
-			// (eg.waiting dedupes repeats of the same port).
+			// (the waiting map dedupes repeats of the same port).
 			nc.stalled = true
 			n.stallEvents++
-			for _, eg := range blocked {
-				if !eg.waiting[nc] {
-					eg.waiting[nc] = true
-					eg.waiters = append(eg.waiters, nc)
+			for _, pt := range blocked {
+				if !pt.waiting[nc] {
+					pt.waiting[nc] = true
+					pt.waiters = append(pt.waiters, nc)
 				}
 			}
 		}
@@ -474,22 +626,16 @@ func (n *Network) tryStartUplink(nc *nic) {
 	}
 	n.blocked = blocked[:0]
 	nc.stalled = false
-	eg := n.egress[chosen.dst]
-	eg.buffered += chosen.size // credit reserved while the packet is in flight
-	ser := n.serialization(chosen.size)
+	chosen.route[0].buffered += chosen.size // credit reserved while in flight
+	ser := nc.link.Serialization(chosen.size)
 	nc.busy = true
 	nc.busyNS += ser
 	n.k.Call(ser, n.uplinkDoneFn, chosen)
 }
 
-// uplinkDone frees the uplink after a packet's serialization, launches the
-// packet across the wire and through the switch's routing stage, and keeps
-// the NIC draining.  Wire traversal and fabric routing are one fused event:
-// the stochastic fabric delay is drawn here, which preserves the delay
-// distribution while saving a heap operation per packet.
-func (n *Network) uplinkDone(p *packet) {
-	nc := n.nics[p.src]
-	nc.busy = false
+// fabricDelay draws the stochastic overhead of one switch traversal: mean
+// FabricDelay, uniform jitter, and the rare exponential heavy tail.
+func (n *Network) fabricDelay() sim.Duration {
 	d := n.cfg.FabricDelay
 	if n.cfg.FabricJitter > 0 {
 		d += sim.Duration(n.rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
@@ -500,54 +646,87 @@ func (n *Network) uplinkDone(p *packet) {
 	if d < 0 {
 		d = 0
 	}
-	n.k.Call(n.cfg.WireDelay+d, n.enqueueEgressFn, p)
+	return d
+}
+
+// uplinkDone frees the uplink after a packet's serialization, launches the
+// packet across the wire and through the first switch's routing stage, and
+// keeps the NIC draining.  Wire traversal and fabric routing are one fused
+// event: the stochastic fabric delay is drawn here, which preserves the
+// delay distribution while saving a heap operation per packet.
+func (n *Network) uplinkDone(p *packet) {
+	nc := n.nics[p.src]
+	nc.busy = false
+	n.k.Call(nc.link.Delay+n.fabricDelay(), n.arriveFn, p)
 	n.tryStartUplink(nc)
 }
 
-// enqueueEgress places the packet on its destination port's queue.
-func (n *Network) enqueueEgress(p *packet) {
-	eg := n.egress[p.dst]
-	eg.queue.push(p)
-	n.tryStartEgress(eg)
+// arrive places the packet on the queue of the port it has reached.
+func (n *Network) arrive(p *packet) {
+	pt := p.route[p.hop]
+	pt.queue.push(p)
+	n.tryStartPort(pt)
 }
 
-// tryStartEgress drains the egress queue onto the downlink.
-func (n *Network) tryStartEgress(eg *egressPort) {
-	if eg.busy || eg.queue.empty() {
+// tryStartPort drains the port's FIFO onto its link.  A port whose front
+// packet heads to a full downstream buffer stalls whole (head-of-line, as in
+// a real FIFO output queue) until credits return; the final egress port has
+// no downstream buffer and never stalls.
+func (n *Network) tryStartPort(pt *SwitchPort) {
+	if pt.busy || pt.queue.empty() {
 		return
 	}
-	p := eg.queue.pop()
-	eg.busy = true
-	ser := n.serialization(p.size)
-	eg.busyNS += ser
-	n.k.Call(ser, n.egressDoneFn, p)
+	p := pt.queue.front()
+	if next := p.nextHop(); next != nil {
+		if !next.hasRoom(p.size) {
+			n.stallEvents++
+			if !next.waiting[pt] {
+				next.waiting[pt] = true
+				next.waiters = append(next.waiters, pt)
+			}
+			return
+		}
+		next.buffered += p.size // credit reserved while in flight
+	}
+	pt.queue.pop()
+	pt.busy = true
+	ser := pt.link.Serialization(p.size)
+	pt.busyNS += ser
+	n.k.Call(ser, n.portDoneFn, p)
 }
 
-// egressDone frees the downlink after a packet's serialization, releases the
-// packet's buffer credit, retries stalled NICs and keeps the port draining.
-func (n *Network) egressDone(p *packet) {
-	eg := n.egress[p.dst]
-	eg.busy = false
-	eg.buffered -= p.size
-	n.wakeWaiters(eg)
-	n.k.Call(n.cfg.WireDelay, n.deliverFn, p)
-	n.tryStartEgress(eg)
+// portDone frees the port after a packet's serialization, releases the
+// packet's buffer credit, retries stalled upstream transmitters, forwards
+// the packet (to the next switch stage, or to its destination if this was
+// the egress port) and keeps the port draining.
+func (n *Network) portDone(p *packet) {
+	pt := p.route[p.hop]
+	pt.busy = false
+	pt.buffered -= p.size
+	n.wakeWaiters(pt)
+	p.hop++
+	if p.hop < len(p.route) {
+		n.k.Call(pt.link.Delay+n.fabricDelay(), n.arriveFn, p)
+	} else {
+		n.k.Call(pt.link.Delay, n.deliverFn, p)
+	}
+	n.tryStartPort(pt)
 }
 
-// wakeWaiters retries NICs stalled on this egress port, in the order they
+// wakeWaiters retries transmitters stalled on this port, in the order they
 // stalled (first stalled, first retried), so saturated ports serve every
-// upstream node fairly.
-func (n *Network) wakeWaiters(eg *egressPort) {
-	if len(eg.waiters) == 0 {
+// upstream NIC and trunk fairly.
+func (n *Network) wakeWaiters(pt *SwitchPort) {
+	if len(pt.waiters) == 0 {
 		return
 	}
-	waiters := eg.waiters
-	eg.waiters = nil
-	for _, nc := range waiters {
-		delete(eg.waiting, nc)
+	waiters := pt.waiters
+	pt.waiters = nil
+	for _, s := range waiters {
+		delete(pt.waiting, s)
 	}
-	for _, nc := range waiters {
-		n.tryStartUplink(nc)
+	for _, s := range waiters {
+		s.resume(n)
 	}
 }
 
@@ -588,6 +767,10 @@ type Stats struct {
 	// node link.
 	UplinkBusy   []sim.Duration
 	DownlinkBusy []sim.Duration
+	// TrunkLabels and TrunkBusy are the inter-switch ports and their
+	// cumulative transmission times (empty on a single switch).
+	TrunkLabels []string
+	TrunkBusy   []sim.Duration
 }
 
 // Stats returns a snapshot of the network's counters.
@@ -604,8 +787,12 @@ func (n *Network) Stats() Stats {
 	for _, nc := range n.nics {
 		s.UplinkBusy = append(s.UplinkBusy, nc.busyNS)
 	}
-	for _, eg := range n.egress {
-		s.DownlinkBusy = append(s.DownlinkBusy, eg.busyNS)
+	for _, pt := range n.egress {
+		s.DownlinkBusy = append(s.DownlinkBusy, pt.busyNS)
+	}
+	for _, pt := range n.trunks {
+		s.TrunkLabels = append(s.TrunkLabels, pt.label)
+		s.TrunkBusy = append(s.TrunkBusy, pt.busyNS)
 	}
 	return s
 }
@@ -619,15 +806,24 @@ func (n *Network) MeanLinkUtilization(elapsed sim.Duration) float64 {
 		return 0
 	}
 	var sum float64
-	for _, eg := range n.egress {
-		sum += float64(eg.busyNS) / float64(elapsed)
+	for _, pt := range n.egress {
+		sum += float64(pt.busyNS) / float64(elapsed)
 	}
 	return sum / float64(len(n.egress))
 }
 
 // IdleLatencyEstimate returns the expected one-way latency of a size-byte
-// packet on an otherwise idle network, excluding the stochastic tail.  It is
-// used by tests and by the documentation, not by the measurement code.
+// packet crossing a single switch on an otherwise idle network, excluding
+// the stochastic tail.  It is used by tests and by the documentation, not by
+// the measurement code.
 func (n *Network) IdleLatencyEstimate(size int) sim.Duration {
 	return n.serialization(size)*2 + 2*n.cfg.WireDelay + n.cfg.FabricDelay
+}
+
+// PathIdleLatencyEstimate is IdleLatencyEstimate for a concrete node pair
+// under the configured topology: each port on the route adds one
+// serialization, one wire traversal and one fabric traversal.
+func (n *Network) PathIdleLatencyEstimate(src, dst, size int) sim.Duration {
+	h := sim.Duration(n.PathHops(src, dst))
+	return n.serialization(size)*(h+1) + n.cfg.WireDelay*(h+1) + n.cfg.FabricDelay*h
 }

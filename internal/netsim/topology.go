@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topology describes how compute nodes are wired to switches.  A topology is
+// a pure routing description: it assigns every node to a bottom-level (leaf)
+// switch and resolves every node→node pair to the sequence of inter-switch
+// trunk ports the packet crosses between the source NIC and the destination
+// egress port.  The per-hop queueing mechanics (serialization, credits,
+// back-pressure) are topology-independent and live in Network.
+type Topology interface {
+	// Name identifies the topology in labels and reports ("star", "fattree").
+	Name() string
+	// Build lays the topology out for a concrete node count.  It is called
+	// once per Network; the returned layout is read-only afterwards.
+	Build(nodes int) (Layout, error)
+}
+
+// Layout is a topology laid out for a concrete node count.
+type Layout struct {
+	// Leaves is the number of bottom-level switches.
+	Leaves int
+	// LeafOf maps each node to the leaf switch its uplink attaches to.
+	LeafOf []int
+	// Trunks describes the inter-switch ports (empty for a single switch).
+	Trunks []TrunkSpec
+	// Routes[src*nodes+dst] lists the trunk ports (indices into Trunks) a
+	// packet crosses between src's NIC and dst's egress port, in traversal
+	// order.  An empty route means the pair shares a leaf and the packet goes
+	// straight to the egress port.
+	Routes [][]int
+}
+
+// TrunkSpec describes one inter-switch port.
+type TrunkSpec struct {
+	// Label names the port in statistics, e.g. "leaf0.up1".
+	Label string
+}
+
+// validate checks the layout's shape, so a misbehaving custom Topology
+// surfaces as a descriptive error instead of an index panic deep inside
+// network construction.
+func (lay Layout) validate(nodes int) error {
+	if lay.Leaves < 1 {
+		return fmt.Errorf("netsim: layout has %d leaves", lay.Leaves)
+	}
+	if len(lay.LeafOf) != nodes {
+		return fmt.Errorf("netsim: layout maps %d nodes to leaves, want %d", len(lay.LeafOf), nodes)
+	}
+	for node, leaf := range lay.LeafOf {
+		if leaf < 0 || leaf >= lay.Leaves {
+			return fmt.Errorf("netsim: node %d on leaf %d outside [0, %d)", node, leaf, lay.Leaves)
+		}
+	}
+	if len(lay.Routes) != nodes*nodes {
+		return fmt.Errorf("netsim: layout has %d routes, want %d", len(lay.Routes), nodes*nodes)
+	}
+	for pair, route := range lay.Routes {
+		for _, h := range route {
+			if h < 0 || h >= len(lay.Trunks) {
+				return fmt.Errorf("netsim: route %d->%d crosses trunk %d outside [0, %d)",
+					pair/nodes, pair%nodes, h, len(lay.Trunks))
+			}
+		}
+	}
+	return nil
+}
+
+// Star is the single-switch topology of the paper's testbed: every node has
+// one uplink to the same switch, so every packet crosses exactly one fabric
+// and queues only at the destination's egress port.
+type Star struct{}
+
+// Name implements Topology.
+func (Star) Name() string { return "star" }
+
+// Build implements Topology.
+func (Star) Build(nodes int) (Layout, error) {
+	if nodes < 2 {
+		return Layout{}, fmt.Errorf("netsim: star topology needs at least 2 nodes, have %d", nodes)
+	}
+	return Layout{
+		Leaves: 1,
+		LeafOf: make([]int, nodes),
+		Routes: make([][]int, nodes*nodes),
+	}, nil
+}
+
+// FatTree is a two-stage fabric: nodes attach to Leaves bottom-level
+// switches, and each leaf has UplinksPerLeaf trunk links to a spine stage.
+// Traffic between nodes on the same leaf never leaves the leaf; traffic
+// between leaves crosses one leaf→spine uplink and one spine→leaf downlink,
+// both chosen by static destination-based routing (as InfiniBand's linear
+// forwarding tables do).  With fewer uplinks than nodes per leaf the fabric
+// is oversubscribed and inter-leaf traffic contends on the trunks — the
+// regime the paper's full multi-switch cluster operates in.
+type FatTree struct {
+	// Leaves is the number of bottom-level switches; nodes are assigned to
+	// leaves contiguously (ceil(nodes/Leaves) per leaf).
+	Leaves int
+	// UplinksPerLeaf is the number of trunk links from each leaf to the
+	// spine stage.  Zero means one uplink per attached node, i.e. a
+	// non-oversubscribed (1:1) fabric.
+	UplinksPerLeaf int
+}
+
+// Name implements Topology.
+func (t FatTree) Name() string { return "fattree" }
+
+// NodesPerLeaf returns the number of nodes attached to each (full) leaf.
+func (t FatTree) NodesPerLeaf(nodes int) int {
+	if t.Leaves < 1 {
+		return nodes
+	}
+	return (nodes + t.Leaves - 1) / t.Leaves
+}
+
+// uplinks resolves the configured uplink count for a concrete node count.
+func (t FatTree) uplinks(nodes int) int {
+	if t.UplinksPerLeaf > 0 {
+		return t.UplinksPerLeaf
+	}
+	return t.NodesPerLeaf(nodes)
+}
+
+// Oversubscription returns the leaf oversubscription ratio (nodes per leaf
+// divided by uplinks per leaf); 1 means the fabric is non-blocking.
+func (t FatTree) Oversubscription(nodes int) float64 {
+	return float64(t.NodesPerLeaf(nodes)) / float64(t.uplinks(nodes))
+}
+
+// Build implements Topology.
+func (t FatTree) Build(nodes int) (Layout, error) {
+	if nodes < 2 {
+		return Layout{}, fmt.Errorf("netsim: fat-tree needs at least 2 nodes, have %d", nodes)
+	}
+	if t.Leaves < 1 {
+		return Layout{}, fmt.Errorf("netsim: fat-tree needs at least 1 leaf, have %d", t.Leaves)
+	}
+	if t.Leaves > nodes {
+		return Layout{}, fmt.Errorf("netsim: fat-tree with %d leaves but only %d nodes", t.Leaves, nodes)
+	}
+	if t.UplinksPerLeaf < 0 {
+		return Layout{}, fmt.Errorf("netsim: negative uplinks per leaf %d", t.UplinksPerLeaf)
+	}
+	perLeaf := t.NodesPerLeaf(nodes)
+	uplinks := t.uplinks(nodes)
+	lay := Layout{
+		Leaves: t.Leaves,
+		LeafOf: make([]int, nodes),
+		Routes: make([][]int, nodes*nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		lay.LeafOf[i] = i / perLeaf
+	}
+	// Per leaf: uplinks (leaf→spine) first, then downlinks (spine→leaf).
+	up := func(leaf, u int) int { return leaf*2*uplinks + u }
+	down := func(leaf, u int) int { return leaf*2*uplinks + uplinks + u }
+	for leaf := 0; leaf < t.Leaves; leaf++ {
+		for u := 0; u < uplinks; u++ {
+			lay.Trunks = append(lay.Trunks, TrunkSpec{Label: fmt.Sprintf("leaf%d.up%d", leaf, u)})
+		}
+		for u := 0; u < uplinks; u++ {
+			lay.Trunks = append(lay.Trunks, TrunkSpec{Label: fmt.Sprintf("leaf%d.down%d", leaf, u)})
+		}
+	}
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			if src == dst || lay.LeafOf[src] == lay.LeafOf[dst] {
+				continue
+			}
+			u := dst % uplinks // destination-routed trunk selection
+			lay.Routes[src*nodes+dst] = []int{up(lay.LeafOf[src], u), down(lay.LeafOf[dst], u)}
+		}
+	}
+	return lay, nil
+}
+
+// ParseTopology builds a topology from textual CLI parameters.  kind is
+// "star" or "fattree"; leaves and uplinks apply only to the fat-tree (zero
+// leaves defaults to 2, zero uplinks means a non-oversubscribed fabric).
+func ParseTopology(kind string, leaves, uplinks int) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(kind)) {
+	case "", "star":
+		return Star{}, nil
+	case "fattree", "fat-tree":
+		if leaves == 0 {
+			leaves = 2
+		}
+		return FatTree{Leaves: leaves, UplinksPerLeaf: uplinks}, nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown topology %q (valid: star, fattree)", kind)
+	}
+}

@@ -1,0 +1,291 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+func TestStarBuild(t *testing.T) {
+	lay, err := Star{}.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Leaves != 1 || len(lay.Trunks) != 0 {
+		t.Fatalf("star layout = %+v, want 1 leaf and no trunks", lay)
+	}
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			if len(lay.Routes[src*4+dst]) != 0 {
+				t.Fatalf("star route %d->%d not direct", src, dst)
+			}
+		}
+	}
+	if _, err := (Star{}).Build(1); err == nil {
+		t.Fatal("expected error for 1 node")
+	}
+}
+
+func TestFatTreeBuild(t *testing.T) {
+	ft := FatTree{Leaves: 2, UplinksPerLeaf: 2}
+	lay, err := ft.Build(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Leaves != 2 {
+		t.Fatalf("leaves = %d, want 2", lay.Leaves)
+	}
+	// 2 leaves x (2 up + 2 down).
+	if len(lay.Trunks) != 8 {
+		t.Fatalf("trunks = %d, want 8", len(lay.Trunks))
+	}
+	wantLeaf := []int{0, 0, 0, 1, 1, 1}
+	for i, want := range wantLeaf {
+		if lay.LeafOf[i] != want {
+			t.Fatalf("leafOf[%d] = %d, want %d", i, lay.LeafOf[i], want)
+		}
+	}
+	// Same-leaf pairs route directly; cross-leaf pairs cross one uplink and
+	// one downlink, both chosen by destination.
+	if len(lay.Routes[0*6+2]) != 0 {
+		t.Fatal("same-leaf route should be direct")
+	}
+	r := lay.Routes[0*6+4] // node 0 (leaf 0) -> node 4 (leaf 1), trunk 4%2=0
+	if len(r) != 2 {
+		t.Fatalf("cross-leaf route has %d hops, want 2", len(r))
+	}
+	if lay.Trunks[r[0]].Label != "leaf0.up0" || lay.Trunks[r[1]].Label != "leaf1.down0" {
+		t.Fatalf("route labels = %s, %s", lay.Trunks[r[0]].Label, lay.Trunks[r[1]].Label)
+	}
+	// All traffic to one destination shares its trunks (destination routing),
+	// regardless of source.
+	r2 := lay.Routes[2*6+4]
+	if r2[0] != r[0] || r2[1] != r[1] {
+		t.Fatalf("destination routing violated: %v vs %v", r2, r)
+	}
+
+	if ft.Oversubscription(6) != 1.5 {
+		t.Fatalf("oversubscription = %v, want 1.5", ft.Oversubscription(6))
+	}
+	if (FatTree{Leaves: 2}).Oversubscription(6) != 1 {
+		t.Fatal("zero uplinks should mean a non-blocking 1:1 fabric")
+	}
+
+	bad := []FatTree{{Leaves: 0}, {Leaves: 7, UplinksPerLeaf: 1}, {Leaves: 2, UplinksPerLeaf: -1}}
+	for i, b := range bad {
+		if _, err := b.Build(6); err == nil {
+			t.Errorf("case %d: expected build error for %+v", i, b)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology("star", 0, 0)
+	if err != nil || topo.Name() != "star" {
+		t.Fatalf("star parse: %v %v", topo, err)
+	}
+	topo, err = ParseTopology("fattree", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := topo.(FatTree)
+	if !ok || ft.Leaves != 2 || ft.UplinksPerLeaf != 2 {
+		t.Fatalf("fattree parse = %+v", topo)
+	}
+	if _, err := ParseTopology("torus", 0, 0); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}
+
+// fatTreeConfig returns a 6-node, two-leaf fat-tree test configuration.
+func fatTreeConfig(uplinks int) Config {
+	cfg := CabConfig()
+	cfg.Nodes = 6
+	cfg.Topology = FatTree{Leaves: 2, UplinksPerLeaf: uplinks}
+	return cfg
+}
+
+// TestStarGoldenTrace pins the exact packet schedule of the default (star)
+// topology: the refactor to the pluggable topology engine, and any change
+// after it, must not move a single event of the original single-switch
+// model.  The constants were captured from the pre-topology-engine code.
+func TestStarGoldenTrace(t *testing.T) {
+	k := sim.NewKernel(42)
+	cfg := CabConfig()
+	cfg.Nodes = 6
+	n := MustNew(k, cfg)
+	var last sim.Time
+	var count int
+	var sum int64
+	n.Observe(func(d Delivery) { last = d.Arrived; count++; sum += int64(d.Latency()) })
+	for i := 0; i < 40; i++ {
+		src := i % 6
+		dst := (i*3 + 1) % 6
+		if dst == src {
+			dst = (dst + 1) % 6
+		}
+		if err := n.SendMessage(src, dst, 1000+i*777, Flow{Class: "g", ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if int64(last) != 67112 || count != 178 || sum != 6063964 || n.Stats().StallEvents != 439 {
+		t.Fatalf("star schedule drifted: last=%d count=%d sum=%d stalls=%d, want 67112/178/6063964/439",
+			int64(last), count, sum, n.Stats().StallEvents)
+	}
+}
+
+// TestFatTreeOneLeafMatchesStar runs the same traffic on the star and on a
+// degenerate one-leaf fat-tree: with no cross-leaf pairs the routes are
+// identical, so the schedules must match event for event.
+func TestFatTreeOneLeafMatchesStar(t *testing.T) {
+	run := func(topo Topology) (int64, sim.Time) {
+		k := sim.NewKernel(9)
+		cfg := CabConfig()
+		cfg.Nodes = 5
+		cfg.Topology = topo
+		n := MustNew(k, cfg)
+		var last sim.Time
+		n.Observe(func(d Delivery) { last = d.Arrived })
+		for i := 0; i < 20; i++ {
+			src := i % 5
+			dst := (src + 1 + i%3) % 5
+			if dst == src {
+				continue
+			}
+			if err := n.SendMessage(src, dst, 5000+i*311, Flow{Class: "x", ID: i}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+		return n.Stats().PacketsDelivered, last
+	}
+	p1, t1 := run(nil)
+	p2, t2 := run(FatTree{Leaves: 1})
+	if p1 != p2 || t1 != t2 {
+		t.Fatalf("one-leaf fat-tree diverged from star: (%d,%d) vs (%d,%d)", p1, t1, p2, t2)
+	}
+}
+
+func TestFatTreeCrossLeafLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := fatTreeConfig(2)
+	cfg.TailProb = 0
+	cfg.FabricJitter = 0
+	n := MustNew(k, cfg)
+	if n.Leaves() != 2 || n.LeafOf(0) != 0 || n.LeafOf(5) != 1 {
+		t.Fatalf("leaf layout wrong: leaves=%d", n.Leaves())
+	}
+	if n.PathHops(0, 1) != 1 || n.PathHops(0, 4) != 3 {
+		t.Fatalf("path hops = %d intra, %d cross; want 1, 3", n.PathHops(0, 1), n.PathHops(0, 4))
+	}
+	var same, cross sim.Duration
+	if err := n.SendProbe(0, 1, 1024, Flow{Class: "p"}, func(d Delivery) { same = d.Latency() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SendProbe(2, 4, 1024, Flow{Class: "p"}, func(d Delivery) { cross = d.Latency() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if same != n.PathIdleLatencyEstimate(0, 1, 1024) {
+		t.Fatalf("same-leaf latency %v, want %v", same, n.PathIdleLatencyEstimate(0, 1, 1024))
+	}
+	if cross != n.PathIdleLatencyEstimate(2, 4, 1024) {
+		t.Fatalf("cross-leaf latency %v, want %v", cross, n.PathIdleLatencyEstimate(2, 4, 1024))
+	}
+	if cross <= same {
+		t.Fatalf("cross-leaf latency %v not above same-leaf %v", cross, same)
+	}
+}
+
+// TestUplinkBackpressure saturates a single leaf→spine uplink from every
+// node of leaf 0 and verifies the credit flow control propagates all the way
+// back to the sending NICs without deadlocking, both with finite buffers and
+// with the EgressBufferBytes=0 (unlimited, no back-pressure) ablation.
+func TestUplinkBackpressure(t *testing.T) {
+	run := func(buffer int) (Stats, bool) {
+		k := sim.NewKernel(17)
+		cfg := fatTreeConfig(1) // one shared uplink: 3:1 oversubscription
+		cfg.EgressBufferBytes = buffer
+		n := MustNew(k, cfg)
+		const msg = 2 << 20
+		completions := 0
+		// Every leaf-0 node blasts a different leaf-1 node so all three
+		// flows contend on leaf0.up0 but drain to distinct egress ports.
+		for src := 0; src < 3; src++ {
+			dst := 3 + src
+			if err := n.SendMessage(src, dst, msg, Flow{Class: "blast", ID: src}, func(sim.Time) { completions++ }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run() // would hang (or leave events pending) on a deadlock
+		return n.Stats(), completions == 3
+	}
+
+	st, done := run(32 * 1024)
+	if !done {
+		t.Fatal("finite-buffer run did not deliver every message")
+	}
+	if st.StallEvents == 0 {
+		t.Fatal("expected NIC stalls behind the saturated uplink")
+	}
+	if st.BytesDelivered != 3*(2<<20) {
+		t.Fatalf("delivered %d bytes, want %d", st.BytesDelivered, 3*(2<<20))
+	}
+	// The shared uplink must be the bottleneck: its busy time is the sum of
+	// all three transfers' serialization.
+	var upBusy sim.Duration
+	for i, label := range st.TrunkLabels {
+		if label == "leaf0.up0" {
+			upBusy = st.TrunkBusy[i]
+		}
+	}
+	if upBusy == 0 {
+		t.Fatal("leaf0.up0 never transmitted")
+	}
+	for _, d := range st.DownlinkBusy[3:] {
+		if d >= upBusy {
+			t.Fatalf("egress busy %v not below shared uplink busy %v", d, upBusy)
+		}
+	}
+
+	st0, done0 := run(0)
+	if !done0 {
+		t.Fatal("zero-buffer (unlimited) run did not deliver every message")
+	}
+	if st0.StallEvents != 0 {
+		t.Fatalf("unlimited buffering stalled %d times, want 0", st0.StallEvents)
+	}
+	if st0.BytesDelivered != st.BytesDelivered {
+		t.Fatalf("ablation delivered %d bytes, want %d", st0.BytesDelivered, st.BytesDelivered)
+	}
+}
+
+// TestFatTreeDeterminism runs identical fat-tree traffic twice and expects
+// identical schedules.
+func TestFatTreeDeterminism(t *testing.T) {
+	run := func() (int64, sim.Time, int64) {
+		k := sim.NewKernel(77)
+		n := MustNew(k, fatTreeConfig(1))
+		var last sim.Time
+		n.Observe(func(d Delivery) { last = d.Arrived })
+		for i := 0; i < 30; i++ {
+			src := i % 6
+			dst := (i*5 + 2) % 6
+			if dst == src {
+				dst = (dst + 1) % 6
+			}
+			if err := n.SendMessage(src, dst, 3000+i*997, Flow{Class: "d", ID: i}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+		st := n.Stats()
+		return st.PacketsDelivered, last, st.StallEvents
+	}
+	p1, t1, s1 := run()
+	p2, t2, s2 := run()
+	if p1 != p2 || t1 != t2 || s1 != s2 {
+		t.Fatalf("non-deterministic fat-tree: (%d,%d,%d) vs (%d,%d,%d)", p1, t1, s1, p2, t2, s2)
+	}
+}

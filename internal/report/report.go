@@ -198,6 +198,34 @@ func Fig9Table(r experiments.Fig9Result) Table {
 	return t
 }
 
+// XSwitchTable renders the cross-switch campaign: measured and predicted
+// co-run degradation per oversubscription ratio and placement policy.
+func XSwitchTable(r experiments.XSwitchResult) Table {
+	headers := []string{"uplinks", "oversub", "placement", "baseline_ms", "measured_pct"}
+	for _, m := range r.Models {
+		headers = append(headers, m+"_pred", m+"_err")
+	}
+	t := Table{
+		Title: fmt.Sprintf("Cross-switch campaign: %s co-running with %s on a %d-leaf fat-tree",
+			r.Target, r.CoRunner, r.Leaves),
+		Headers: headers,
+	}
+	for _, p := range r.Points {
+		row := []string{
+			fmt.Sprintf("%d", p.Uplinks),
+			f2(p.Oversubscription),
+			string(p.Placement),
+			fmt.Sprintf("%.3f", p.BaselineIterMs),
+			f1(p.MeasuredPct),
+		}
+		for _, m := range r.Models {
+			row = append(row, f1(p.PredictedPct[m]), f1(p.AbsErrPct[m]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
 // Summary renders a one-paragraph comparison against the paper's headline
 // claims, used by the CLI after fig9.
 func Summary(r experiments.Fig9Result) string {

@@ -32,11 +32,51 @@ import (
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/inject"
 	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/predict"
 	"github.com/hpcperf/switchprobe/internal/probe"
 	"github.com/hpcperf/switchprobe/internal/queuing"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// --- topology and placement --------------------------------------------------
+
+// Topology describes the fabric connecting the simulated nodes (set it on
+// MachineConfig.Net.Topology; nil means the paper's single switch).
+type Topology = netsim.Topology
+
+// Star is the paper's single-switch topology.
+type Star = netsim.Star
+
+// FatTree is a two-stage multi-switch fabric with tunable oversubscription.
+type FatTree = netsim.FatTree
+
+// ParseTopology builds a topology from textual CLI-style parameters.
+func ParseTopology(kind string, leaves, uplinks int) (Topology, error) {
+	return netsim.ParseTopology(kind, leaves, uplinks)
+}
+
+// PlacementPolicy selects how application nodes are picked across the
+// topology's leaf switches (set it on Options.Placement).
+type PlacementPolicy = cluster.PlacementPolicy
+
+// Placement policies.
+const (
+	PlacePack   = cluster.PlacePack
+	PlaceSpread = cluster.PlaceSpread
+	PlaceRandom = cluster.PlaceRandom
+)
+
+// Slot restricts an application to one half of the machine for placed
+// co-run experiments.
+type Slot = core.Slot
+
+// Machine slots for placed co-run measurements.
+const (
+	SlotAll = core.SlotAll
+	SlotA   = core.SlotA
+	SlotB   = core.SlotB
 )
 
 // --- measurement methodology -------------------------------------------------
@@ -108,6 +148,19 @@ func MeasureAppUnderInjector(o Options, app App, cfg InjectorConfig) (Runtime, e
 // switch.
 func MeasureAppPair(o Options, a, b App) (Runtime, Runtime, error) {
 	return core.MeasureAppPair(o, a, b)
+}
+
+// MeasureAppPairPlaced measures a co-run with each application restricted to
+// one half of the machine's placement-policy node order (a on SlotA, b on
+// SlotB) — the cross-switch ground truth on multi-leaf topologies.
+func MeasureAppPairPlaced(o Options, a, b App) (Runtime, Runtime, error) {
+	return core.MeasureAppPairPlaced(o, a, b)
+}
+
+// MeasureAppBaselineSlot measures an application's iteration rate alone in
+// one half of the machine, the baseline placed co-runs are judged against.
+func MeasureAppBaselineSlot(o Options, app App, slot Slot) (Runtime, error) {
+	return core.MeasureAppBaselineSlot(o, app, slot)
 }
 
 // BuildProfile builds an application's compression profile over the given
@@ -245,6 +298,10 @@ type (
 	Fig8Result = experiments.Fig8Result
 	// Fig9Result holds the per-model error summary (paper Fig. 9).
 	Fig9Result = experiments.Fig9Result
+	// XSwitchResult holds the cross-switch campaign: measured and predicted
+	// co-run degradation across fat-tree oversubscription ratios and
+	// placement policies.
+	XSwitchResult = experiments.XSwitchResult
 )
 
 // ResultTable is a rendered result: aligned text via Render, CSV via
@@ -252,9 +309,10 @@ type (
 type ResultTable = report.Table
 
 // Render helpers turning experiment results into tables.
-func RenderFig3(r Fig3Result) ResultTable     { return report.Fig3Table(r) }
-func RenderFig6(r Fig6Result) ResultTable     { return report.Fig6Table(r) }
-func RenderFig7(r Fig7Result) ResultTable     { return report.Fig7Table(r) }
-func RenderTable1(r Table1Result) ResultTable { return report.Table1Table(r) }
-func RenderFig8(r Fig8Result) ResultTable     { return report.Fig8Table(r) }
-func RenderFig9(r Fig9Result) ResultTable     { return report.Fig9Table(r) }
+func RenderFig3(r Fig3Result) ResultTable       { return report.Fig3Table(r) }
+func RenderFig6(r Fig6Result) ResultTable       { return report.Fig6Table(r) }
+func RenderFig7(r Fig7Result) ResultTable       { return report.Fig7Table(r) }
+func RenderTable1(r Table1Result) ResultTable   { return report.Table1Table(r) }
+func RenderFig8(r Fig8Result) ResultTable       { return report.Fig8Table(r) }
+func RenderFig9(r Fig9Result) ResultTable       { return report.Fig9Table(r) }
+func RenderXSwitch(r XSwitchResult) ResultTable { return report.XSwitchTable(r) }
