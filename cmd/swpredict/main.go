@@ -7,6 +7,11 @@
 //	swpredict -target FFTW -corunner Lulesh [-preset ci|default|paper]
 //	          [-seed N] [-validate] [-topology star|fattree] [-leaves N]
 //	          [-uplinks N] [-placement pack|spread|random]
+//	          [-cache-dir DIR] [-no-cache]
+//
+// With -cache-dir, measurement artifacts are served from (and persisted to)
+// the same content-addressed store swprobe uses, so a prediction on an
+// already-measured fabric runs without re-simulating anything.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/model"
 	"github.com/hpcperf/switchprobe/internal/netsim"
@@ -41,6 +47,8 @@ func run(args []string) error {
 	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
 	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node)")
 	placement := fs.String("placement", "pack", "application placement across leaves: pack, spread or random")
+	cacheDir := fs.String("cache-dir", "", "directory of the persistent artifact cache (empty = in-memory only)")
+	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,8 +76,13 @@ func run(args []string) error {
 		return err
 	}
 
+	eng, err := engine.Open(*cacheDir, *noCache)
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("Calibrating the idle %s fabric (preset %s)...\n", topo.Name(), *preset)
-	cal, err := core.Calibrate(cfg.Options)
+	cal, err := eng.Calibration(cfg.Options)
 	if err != nil {
 		return err
 	}
@@ -77,7 +90,7 @@ func run(args []string) error {
 		cal.Idle.Mean*1e6, cal.Service.Mu)
 
 	fmt.Printf("Measuring %s's impact signature...\n", coRunner.Name())
-	coSig, err := core.MeasureAppImpact(cfg.Options, cal, coRunner)
+	coSig, err := eng.AppImpact(cfg.Options, coRunner, core.SlotAll)
 	if err != nil {
 		return err
 	}
@@ -86,7 +99,7 @@ func run(args []string) error {
 
 	fmt.Printf("Building %s's compression profile (%d injector configurations)...\n",
 		target.Name(), len(cfg.ProfileGrid))
-	prof, err := core.BuildProfile(cfg.Options, cal, target, cfg.ProfileGrid, nil)
+	prof, err := eng.BuildProfile(cfg.Options, target, cfg.ProfileGrid, core.SlotAll)
 	if err != nil {
 		return err
 	}
@@ -106,12 +119,15 @@ func run(args []string) error {
 
 	if *validate {
 		fmt.Println("Validating with a real co-run...")
-		ra, _, err := core.MeasureAppPair(cfg.Options, target, coRunner)
+		ra, _, err := eng.Pair(cfg.Options, target, coRunner, false)
 		if err != nil {
 			return err
 		}
 		measured := core.DegradationPercent(prof.Baseline, ra)
 		fmt.Printf("Measured slowdown of %s with %s: %.1f%%\n", target.Name(), coRunner.Name(), measured)
+	}
+	if eng.Stats().Lookups() > 0 {
+		fmt.Printf("Cache: %s\n", eng.Summary())
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
+//	        [-cache-dir DIR] [-no-cache]
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
 //
@@ -13,10 +14,16 @@
 // xswitch campaign additionally sweeps the fat-tree's oversubscription and
 // compares packed vs. spread placement.
 //
+// With -cache-dir, every simulation run's artifact is persisted to a
+// content-addressed store keyed by its RunSpec hash; a warm re-run of the
+// same campaign executes zero simulations and reproduces byte-identical
+// output.  -no-cache disables the persistent store (runs are still memoized
+// in-process).
+//
 // Example:
 //
 //	swprobe -exp fig9 -preset default
-//	swprobe -exp all -preset ci -csv ./results
+//	swprobe -exp all -preset ci -csv ./results -cache-dir ~/.cache/swprobe
 //	swprobe -exp xswitch -preset ci -topology fattree -uplinks 2
 package main
 
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
@@ -49,6 +57,8 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = all CPUs)")
 	csvDir := fs.String("csv", "", "directory to write CSV files into (optional)")
+	cacheDir := fs.String("cache-dir", "", "directory of the persistent artifact cache (empty = in-memory only)")
+	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
 	topology := fs.String("topology", "star", "network topology: star or fattree")
 	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
 	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node, no oversubscription)")
@@ -74,14 +84,29 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	cfg.Options.Placement = policy
-	suite := experiments.NewSuite(cfg)
 
+	eng, err := engine.Open(*cacheDir, *noCache)
+	if err != nil {
+		return err
+	}
+	suite := experiments.NewSuiteWithEngine(cfg, eng)
+
+	valid := make(map[string]bool, len(experiments.Names)+1)
+	for _, name := range experiments.Names {
+		valid[name] = true
+	}
+	valid["xswitch"] = true
 	var wanted []string
 	if *exp == "all" {
 		wanted = experiments.Names
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
-			wanted = append(wanted, strings.TrimSpace(name))
+			name = strings.TrimSpace(name)
+			if !valid[name] {
+				return fmt.Errorf("unknown experiment %q (valid: %s, xswitch, all)",
+					name, strings.Join(experiments.Names, ", "))
+			}
+			wanted = append(wanted, name)
 		}
 	}
 
@@ -105,6 +130,9 @@ func run(args []string, out *os.File) error {
 	}
 	if u := experiments.SimUsage(); u.Runs > 0 {
 		fmt.Fprintf(out, "Simulator: %s\n", u)
+	}
+	if eng.Stats().Lookups() > 0 {
+		fmt.Fprintf(out, "Cache: %s\n", eng.Summary())
 	}
 	return nil
 }

@@ -17,8 +17,41 @@ func TestRunRejectsUnknownPreset(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-preset", "ci", "-exp", "fig99"}, os.Stdout); err == nil {
+	err := run([]string{"-preset", "ci", "-exp", "fig99"}, os.Stdout)
+	if err == nil {
 		t.Fatal("expected error for unknown experiment")
+	}
+	if !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error should list the valid experiments: %v", err)
+	}
+	// Unknown names anywhere in a comma list are rejected before any
+	// experiment runs.
+	if err := run([]string{"-preset", "ci", "-exp", "fig3,bogus"}, os.Stdout); err == nil {
+		t.Fatal("expected error for unknown experiment in list")
+	}
+}
+
+func TestRunRejectsUnknownTopologyAndPlacement(t *testing.T) {
+	err := run([]string{"-preset", "ci", "-exp", "fig3", "-topology", "torus"}, os.Stdout)
+	if err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+	if !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error should list the valid topologies: %v", err)
+	}
+	err = run([]string{"-preset", "ci", "-exp", "fig3", "-placement", "diagonal"}, os.Stdout)
+	if err == nil {
+		t.Fatal("expected error for unknown placement")
+	}
+	if !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error should list the valid placements: %v", err)
+	}
+}
+
+func TestPresetErrorListsChoices(t *testing.T) {
+	err := run([]string{"-preset", "bogus", "-exp", "fig3"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error should list the valid presets: %v", err)
 	}
 }
 
@@ -51,6 +84,91 @@ func TestWriteCSV(t *testing.T) {
 	// Nested directory creation.
 	if err := writeCSV(filepath.Join(dir, "x", "y"), "demo", tbl); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWarmCacheByteIdentity is the acceptance test of the artifact store: a
+// second swprobe run against a warm -cache-dir must execute zero simulation
+// runs and emit byte-identical CSVs to the cold run.
+func TestWarmCacheByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs are slow; skipped in -short mode")
+	}
+	cache := t.TempDir()
+	coldDir, warmDir := t.TempDir(), t.TempDir()
+	runInto := func(csvDir string) string {
+		t.Helper()
+		out, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		args := []string{"-preset", "ci", "-exp", "fig3,table1", "-csv", csvDir, "-cache-dir", cache}
+		if err := run(args, out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	coldOut := runInto(coldDir)
+	if !strings.Contains(coldOut, "Simulator:") {
+		t.Fatalf("cold run reported no simulations:\n%s", coldOut)
+	}
+	warmOut := runInto(warmDir)
+	if strings.Contains(warmOut, "Simulator:") {
+		t.Fatalf("warm run still executed simulations:\n%s", warmOut)
+	}
+	if !strings.Contains(warmOut, " 0 simulated") {
+		t.Fatalf("warm run cache line missing zero-simulations signal:\n%s", warmOut)
+	}
+	for _, name := range []string{"fig3.csv", "table1.csv"} {
+		cold, err := os.ReadFile(filepath.Join(coldDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := os.ReadFile(filepath.Join(warmDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cold) != string(warm) {
+			t.Fatalf("%s differs between cold and warm runs", name)
+		}
+	}
+}
+
+// TestNoCacheMatchesCachedRun: disabling the store must not change results —
+// the live path and the cached path stay byte-identical.
+func TestNoCacheMatchesCachedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs are slow; skipped in -short mode")
+	}
+	cache := t.TempDir()
+	cachedDir, liveDir := t.TempDir(), t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run([]string{"-preset", "ci", "-exp", "fig3", "-csv", cachedDir, "-cache-dir", cache}, devnull); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-preset", "ci", "-exp", "fig3", "-csv", liveDir, "-cache-dir", cache, "-no-cache"}, devnull); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := os.ReadFile(filepath.Join(cachedDir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.ReadFile(filepath.Join(liveDir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cached) != string(live) {
+		t.Fatal("fig3.csv differs between cached and -no-cache runs")
 	}
 }
 

@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/sim"
@@ -78,6 +79,20 @@ func CabConfig() Config {
 		IntraNodeLatency:   600 * sim.Nanosecond,
 		IntraNodeBandwidth: 8e9,
 	}
+}
+
+// Fingerprint returns a canonical, deterministic encoding of every field
+// that influences simulated behaviour, delegating the network part to
+// netsim.Config.Fingerprint.  It is the machine layer's contribution to
+// content-addressed run hashing.  New Config fields MUST be added here.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("net{%s};sockets=%d;cores=%d;clock=%s;ilat=%d;ibw=%s",
+		c.Net.Fingerprint(),
+		c.SocketsPerNode,
+		c.CoresPerSocket,
+		strconv.FormatFloat(c.ClockHz, 'g', -1, 64),
+		int64(c.IntraNodeLatency),
+		strconv.FormatFloat(c.IntraNodeBandwidth, 'g', -1, 64))
 }
 
 // Validate reports whether the configuration is usable.

@@ -373,6 +373,15 @@ func (o Options) phaseUtilizations(c *probe.Collector, cal Calibration) ([]Phase
 // M/G/1 service model (µ from the mean idle latency, Var(S) from its
 // variance), mirroring the paper's idle-switch calibration.
 func Calibrate(o Options) (Calibration, error) {
+	art, err := ExecuteSpec(CalibrateSpec(o), nil)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return *art.Calibration, nil
+}
+
+// runCalibrate is the live calibration run behind RunCalibrate specs.
+func runCalibrate(o Options) (Calibration, error) {
 	k, m, err := o.newMachine("calibrate")
 	if err != nil {
 		return Calibration{}, err
@@ -550,6 +559,15 @@ func MeasureAppImpact(o Options, cal Calibration, app workload.App) (Signature, 
 // MeasureAppImpactSlot is MeasureAppImpact with the application restricted
 // to one half of the machine (the probe still spans every node).
 func MeasureAppImpactSlot(o Options, cal Calibration, app workload.App, slot Slot) (Signature, error) {
+	art, err := ExecuteSpec(AppImpactSpec(o, app, slot), &cal)
+	if err != nil {
+		return Signature{}, err
+	}
+	return *art.Signature, nil
+}
+
+// runAppImpact is the live measurement run behind RunAppImpact specs.
+func runAppImpact(o Options, cal Calibration, app workload.App, slot Slot) (Signature, error) {
 	k, m, err := o.newMachine(o.slotLabel("impact", slot, app.Name()))
 	if err != nil {
 		return Signature{}, err
@@ -569,6 +587,16 @@ func MeasureAppImpactSlot(o Options, cal Calibration, app workload.App, slot Slo
 // and returns the configuration's impact signature (the measurement behind
 // the paper's Fig. 6).
 func MeasureInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signature, error) {
+	art, err := ExecuteSpec(InjectorImpactSpec(o, cfg), &cal)
+	if err != nil {
+		return Signature{}, err
+	}
+	return *art.Signature, nil
+}
+
+// runInjectorImpact is the live measurement run behind RunInjectorImpact
+// specs.
+func runInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signature, error) {
 	k, m, err := o.newMachine("impact/" + cfg.Label())
 	if err != nil {
 		return Signature{}, err
@@ -594,6 +622,15 @@ func MeasureAppBaseline(o Options, app workload.App) (Runtime, error) {
 // restricted to one half of the machine, the baseline every placed co-run
 // measurement is judged against.
 func MeasureAppBaselineSlot(o Options, app workload.App, slot Slot) (Runtime, error) {
+	art, err := ExecuteSpec(BaselineSpec(o, app, slot), nil)
+	if err != nil {
+		return Runtime{}, err
+	}
+	return *art.Runtime, nil
+}
+
+// runBaseline is the live measurement run behind RunBaseline specs.
+func runBaseline(o Options, app workload.App, slot Slot) (Runtime, error) {
 	k, m, err := o.newMachine(o.slotLabel("baseline", slot, app.Name()))
 	if err != nil {
 		return Runtime{}, err
@@ -617,6 +654,15 @@ func MeasureAppUnderInjector(o Options, app workload.App, cfg inject.Config) (Ru
 // application restricted to one half of the machine (the injector still
 // spans every node, removing capability fabric-wide).
 func MeasureAppUnderInjectorSlot(o Options, app workload.App, cfg inject.Config, slot Slot) (Runtime, error) {
+	art, err := ExecuteSpec(CompressSpec(o, app, cfg, slot), nil)
+	if err != nil {
+		return Runtime{}, err
+	}
+	return *art.Runtime, nil
+}
+
+// runCompress is the live measurement run behind RunCompress specs.
+func runCompress(o Options, app workload.App, cfg inject.Config, slot Slot) (Runtime, error) {
 	k, m, err := o.newMachine(o.slotLabel("compress", slot, app.Name()+"/"+cfg.Label()))
 	if err != nil {
 		return Runtime{}, err
@@ -636,7 +682,7 @@ func MeasureAppUnderInjectorSlot(o Options, app workload.App, cfg inject.Config,
 // switch (the ground truth of the paper's Table I).  Both run in continuous
 // loops for the whole window.
 func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
-	return measureAppPair(o, "pair/"+appA.Name()+"+"+appB.Name(), appA, appB, SlotAll, SlotAll)
+	return executePair(PairSpec(o, appA, appB, false))
 }
 
 // MeasureAppPairPlaced measures a co-run with each application restricted to
@@ -645,6 +691,25 @@ func MeasureAppPair(o Options, appA, appB workload.App) (Runtime, Runtime, error
 // pack keeps the two jobs on disjoint leaves, spread interleaves both across
 // every leaf so they contend on the spine trunks.
 func MeasureAppPairPlaced(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
+	return executePair(PairSpec(o, appA, appB, true))
+}
+
+// executePair unpacks a pair spec's two runtimes.
+func executePair(spec RunSpec) (Runtime, Runtime, error) {
+	art, err := ExecuteSpec(spec, nil)
+	if err != nil {
+		return Runtime{}, Runtime{}, err
+	}
+	return *art.Runtime, *art.RuntimeB, nil
+}
+
+// runPair is the live measurement run behind unplaced RunPair specs.
+func runPair(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
+	return measureAppPair(o, "pair/"+appA.Name()+"+"+appB.Name(), appA, appB, SlotAll, SlotAll)
+}
+
+// runPairPlaced is the live measurement run behind placed RunPair specs.
+func runPairPlaced(o Options, appA, appB workload.App) (Runtime, Runtime, error) {
 	policy, _ := cluster.ParsePlacement(string(o.Placement))
 	label := fmt.Sprintf("pairx/%s/%s+%s", policy, appA.Name(), appB.Name())
 	return measureAppPair(o, label, appA, appB, SlotA, SlotB)
@@ -694,20 +759,37 @@ func BuildProfile(o Options, cal Calibration, app workload.App, grid []inject.Co
 // injector spans every node) and can be shared across slots and placements.
 func BuildProfileSlot(o Options, cal Calibration, app workload.App, grid []inject.Config,
 	injSignatures map[string]Signature, slot Slot) (Profile, error) {
-	baseline, err := MeasureAppBaselineSlot(o, app, slot)
+	return AssembleProfile(func(spec RunSpec) (Artifact, error) {
+		if spec.Kind == RunInjectorImpact {
+			if sig, ok := injSignatures[spec.Injector.Label()]; ok {
+				return Artifact{Signature: &sig}, nil
+			}
+			return ExecuteSpec(spec, &cal)
+		}
+		return ExecuteSpec(spec, nil)
+	}, o, app, grid, slot)
+}
+
+// AssembleProfile builds an application's compression profile by requesting
+// every needed run — the slot baseline, each grid configuration's injector
+// signature and the application's compressed runtime — through the given
+// executor.  It is the single assembly implementation shared by the direct
+// (live) path above and the engine's cached path.
+func AssembleProfile(run func(RunSpec) (Artifact, error), o Options, app workload.App,
+	grid []inject.Config, slot Slot) (Profile, error) {
+	art, err := run(BaselineSpec(o, app, slot))
 	if err != nil {
 		return Profile{}, err
 	}
+	baseline := *art.Runtime
 	prof := Profile{App: app.Name(), Baseline: baseline}
 	for _, cfg := range grid {
-		sig, ok := injSignatures[cfg.Label()]
-		if !ok {
-			sig, err = MeasureInjectorImpact(o, cal, cfg)
-			if err != nil {
-				return Profile{}, err
-			}
+		sart, err := run(InjectorImpactSpec(o, cfg))
+		if err != nil {
+			return Profile{}, err
 		}
-		rt, err := MeasureAppUnderInjectorSlot(o, app, cfg, slot)
+		sig := *sart.Signature
+		rart, err := run(CompressSpec(o, app, cfg, slot))
 		if err != nil {
 			return Profile{}, err
 		}
@@ -717,7 +799,7 @@ func BuildProfileSlot(o Options, cal Calibration, app workload.App, grid []injec
 			ImpactMean:     sig.Mean,
 			ImpactStd:      sig.StdDev,
 			ImpactHist:     sig.Hist,
-			DegradationPct: DegradationPercent(baseline, rt),
+			DegradationPct: DegradationPercent(baseline, *rart.Runtime),
 		})
 	}
 	return prof, nil

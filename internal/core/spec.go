@@ -1,0 +1,329 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// This file defines the declarative run layer: a RunSpec fully describes one
+// simulation run as a value — options and seed, machine and topology, slot,
+// workload or injector configuration, and the measurement kind — with a
+// canonical encoding and a stable content hash.  ExecuteSpec is the single
+// choke point through which every live simulation run in this package
+// executes; the engine package adds content-addressed caching, deduplication
+// and campaign fan-out on top of it.
+
+// RunKind identifies which primitive measurement a RunSpec describes.
+type RunKind string
+
+const (
+	// RunCalibrate measures the idle fabric and derives the M/G/1 service
+	// model (Artifact.Calibration).
+	RunCalibrate RunKind = "calibrate"
+	// RunAppImpact measures an application's impact signature
+	// (Artifact.Signature).
+	RunAppImpact RunKind = "app-impact"
+	// RunInjectorImpact measures a CompressionB configuration's impact
+	// signature (Artifact.Signature).
+	RunInjectorImpact RunKind = "injector-impact"
+	// RunBaseline measures an application's baseline iteration rate
+	// (Artifact.Runtime).
+	RunBaseline RunKind = "baseline"
+	// RunCompress measures an application's iteration rate under a
+	// CompressionB configuration (Artifact.Runtime).
+	RunCompress RunKind = "compress"
+	// RunPair measures two applications sharing the fabric
+	// (Artifact.Runtime for the first, Artifact.RuntimeB for the second).
+	RunPair RunKind = "pair"
+)
+
+// SpecVersion identifies the canonical RunSpec encoding together with the
+// behavioural generations of the simulation layers beneath it.  Persisted
+// artifacts are keyed on it, so a kernel or network-model change (which would
+// alter every measurement) cleanly invalidates old caches.
+func SpecVersion() string {
+	return fmt.Sprintf("spec1-sim%d-net%d", sim.KernelVersion, netsim.ModelVersion)
+}
+
+// RunSpec is the declarative description of one simulation run.  Two specs
+// with equal content hashes describe runs that produce identical artifacts;
+// the hash covers every input that influences the run (the full Options
+// including seed, machine and topology, the slot, the workload or injector
+// configuration, and the kind).
+//
+// Application identity is the pair (name, Options.Scale): the engine assumes
+// a workload's behaviour is fully determined by its name and scale, which
+// holds for every registry application.  A custom workload.App must use a
+// unique name per behaviour to be cached correctly.
+type RunSpec struct {
+	// Kind selects the measurement primitive.
+	Kind RunKind
+	// Options are the full measurement options, including the seed the
+	// per-run random stream is derived from.
+	Options Options
+	// Slot restricts the (single) application to part of the machine; it is
+	// SlotAll for kinds without a slotted application.
+	Slot Slot
+	// App is the measured application's name (empty for calibrate and
+	// injector-impact runs).
+	App string
+	// CoApp is the co-runner's name for pair runs.
+	CoApp string
+	// Injector is the CompressionB configuration for injector-impact and
+	// compress runs (zero otherwise).
+	Injector inject.Config
+	// Placed marks a pair run measured with each application in its own
+	// half of the placement-policy node order (SlotA/SlotB) instead of both
+	// spanning the whole machine.
+	Placed bool
+
+	// app and coApp carry the resolved workload instances when the spec was
+	// built from live values; the executor falls back to the registry when
+	// they are nil, so specs remain pure values.
+	app, coApp workload.App
+}
+
+// CalibrateSpec describes the idle-fabric calibration run.  The placement
+// policy is canonicalized away: no application runs, so placement cannot
+// influence the measurement and all placements share one artifact.
+func CalibrateSpec(o Options) RunSpec {
+	o.Placement = ""
+	return RunSpec{Kind: RunCalibrate, Options: o}
+}
+
+// AppImpactSpec describes measuring an application's impact signature with
+// the application restricted to the given slot.
+func AppImpactSpec(o Options, app workload.App, slot Slot) RunSpec {
+	return RunSpec{Kind: RunAppImpact, Options: o, Slot: slot, App: app.Name(), app: app}
+}
+
+// InjectorImpactSpec describes measuring a CompressionB configuration's
+// impact signature.  Like calibration, the placement policy is canonicalized
+// away: the injector spans every node regardless of placement.
+func InjectorImpactSpec(o Options, cfg inject.Config) RunSpec {
+	o.Placement = ""
+	return RunSpec{Kind: RunInjectorImpact, Options: o, Injector: cfg}
+}
+
+// BaselineSpec describes measuring an application's baseline iteration rate
+// in the given slot.
+func BaselineSpec(o Options, app workload.App, slot Slot) RunSpec {
+	return RunSpec{Kind: RunBaseline, Options: o, Slot: slot, App: app.Name(), app: app}
+}
+
+// CompressSpec describes measuring an application's iteration rate while a
+// CompressionB configuration removes part of the fabric capability.
+func CompressSpec(o Options, app workload.App, cfg inject.Config, slot Slot) RunSpec {
+	return RunSpec{Kind: RunCompress, Options: o, Slot: slot, App: app.Name(), app: app, Injector: cfg}
+}
+
+// PairSpec describes a co-run of two applications.  With placed unset both
+// span the whole machine (the paper's Table I setting); with placed set the
+// first application takes SlotA and the second SlotB of the placement-policy
+// node order.
+func PairSpec(o Options, appA, appB workload.App, placed bool) RunSpec {
+	return RunSpec{
+		Kind: RunPair, Options: o, Placed: placed,
+		App: appA.Name(), CoApp: appB.Name(),
+		app: appA, coApp: appB,
+	}
+}
+
+// NeedsCalibration reports whether executing the spec requires an
+// idle-fabric calibration artifact (to invert probe latencies into
+// utilizations).
+func (s RunSpec) NeedsCalibration() bool {
+	return s.Kind == RunAppImpact || s.Kind == RunInjectorImpact
+}
+
+// CalibrationSpec returns the calibration run this spec depends on: the
+// calibrate spec for the same options.
+func (s RunSpec) CalibrationSpec() RunSpec { return CalibrateSpec(s.Options) }
+
+// Label returns a short human-readable description of the run, used in error
+// messages and campaign reports.
+func (s RunSpec) Label() string {
+	switch s.Kind {
+	case RunCalibrate:
+		return "calibrate"
+	case RunAppImpact:
+		return fmt.Sprintf("impact %s@%s", s.App, s.Slot)
+	case RunInjectorImpact:
+		return "impact " + s.Injector.Label()
+	case RunBaseline:
+		return fmt.Sprintf("baseline %s@%s", s.App, s.Slot)
+	case RunCompress:
+		return fmt.Sprintf("compress %s under %s@%s", s.App, s.Injector.Label(), s.Slot)
+	case RunPair:
+		if s.Placed {
+			return fmt.Sprintf("pair %s+%s placed", s.App, s.CoApp)
+		}
+		return fmt.Sprintf("pair %s+%s", s.App, s.CoApp)
+	default:
+		return string(s.Kind)
+	}
+}
+
+// fp formats a float canonically (shortest round-trippable decimal), so the
+// encoding is identical across processes and platforms.
+func fp(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Canonical returns the spec's canonical encoding: a deterministic,
+// human-readable rendering of every hashed input, one field per line.  Equal
+// encodings mean interchangeable runs; any field change yields a different
+// encoding.  New Options or RunSpec fields MUST be added here.
+func (s RunSpec) Canonical() string {
+	o := s.Options
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind=%s\n", s.Kind)
+	fmt.Fprintf(&b, "seed=%d\n", o.Seed)
+	fmt.Fprintf(&b, "machine=%s\n", o.Machine.Fingerprint())
+	fmt.Fprintf(&b, "mpi=eager:%d,control:%d\n", o.MPI.EagerThreshold, o.MPI.ControlBytes)
+	fmt.Fprintf(&b, "probe=bytes:%d,pause:%d,rps:%d,tag:%d\n",
+		o.Probe.MessageBytes, int64(o.Probe.Pause), o.Probe.RanksPerSocket, o.Probe.Tag)
+	policy, _ := cluster.ParsePlacement(string(o.Placement))
+	fmt.Fprintf(&b, "placement=%s\n", policy)
+	fmt.Fprintf(&b, "scale=volume:%s,compute:%s\n", fp(o.Scale.Volume), fp(o.Scale.Compute))
+	fmt.Fprintf(&b, "window=%d\n", int64(o.Window))
+	fmt.Fprintf(&b, "iters=warmup:%d,min:%d\n", o.WarmupIterations, o.MinIterations)
+	fmt.Fprintf(&b, "probes=min:%d\n", o.MinProbeSamples)
+	fmt.Fprintf(&b, "hist=lo:%s,hi:%s,bins:%d\n", fp(o.HistLoMicros), fp(o.HistHiMicros), o.HistBins)
+	fmt.Fprintf(&b, "phases=%d\n", o.PhaseWindows)
+	fmt.Fprintf(&b, "slot=%s\n", s.Slot)
+	fmt.Fprintf(&b, "app=%s\n", s.App)
+	fmt.Fprintf(&b, "coapp=%s\n", s.CoApp)
+	fmt.Fprintf(&b, "injector=P:%d,M:%d,B:%s,bytes:%d,rps:%d\n",
+		s.Injector.Partners, s.Injector.Messages, fp(s.Injector.SleepCycles),
+		s.Injector.MessageBytes, s.Injector.RanksPerSocket)
+	fmt.Fprintf(&b, "placed=%t\n", s.Placed)
+	return b.String()
+}
+
+// Hash returns the spec's content hash: a hex SHA-256 over the spec version
+// and the canonical encoding.  It is the artifact store's key.
+func (s RunSpec) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s", SpecVersion(), s.Canonical())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Artifact is the result of executing one RunSpec.  Exactly the fields of
+// the spec's kind are populated (see the RunKind constants); the rest are
+// nil, keeping the JSON wire form small.
+type Artifact struct {
+	Calibration *Calibration `json:"calibration,omitempty"`
+	Signature   *Signature   `json:"signature,omitempty"`
+	Runtime     *Runtime     `json:"runtime,omitempty"`
+	RuntimeB    *Runtime     `json:"runtimeB,omitempty"`
+}
+
+// Complete reports whether the artifact carries every field the kind
+// requires — the integrity check applied to artifacts loaded from disk.
+func (a Artifact) Complete(kind RunKind) bool {
+	switch kind {
+	case RunCalibrate:
+		return a.Calibration != nil && a.Calibration.Idle.Hist != nil
+	case RunAppImpact, RunInjectorImpact:
+		return a.Signature != nil && a.Signature.Hist != nil
+	case RunBaseline, RunCompress:
+		return a.Runtime != nil
+	case RunPair:
+		return a.Runtime != nil && a.RuntimeB != nil
+	default:
+		return false
+	}
+}
+
+// resolveApp returns the carried workload instance or resolves the name from
+// the registry at the spec's scale.
+func resolveApp(name string, carried workload.App, scale workload.Scale) (workload.App, error) {
+	if carried != nil {
+		return carried, nil
+	}
+	return workload.ByName(name, scale)
+}
+
+// ExecuteSpec runs the simulation a spec describes and returns its artifact.
+// It is the single live-simulation choke point: every measurement in this
+// package and every cache miss in the engine goes through it.  cal supplies
+// the idle-fabric calibration for kinds that need one (NeedsCalibration) and
+// is ignored otherwise.
+func ExecuteSpec(spec RunSpec, cal *Calibration) (Artifact, error) {
+	if spec.NeedsCalibration() && cal == nil {
+		return Artifact{}, fmt.Errorf("core: %s run requires a calibration", spec.Kind)
+	}
+	switch spec.Kind {
+	case RunCalibrate:
+		c, err := runCalibrate(spec.Options)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Calibration: &c}, nil
+	case RunAppImpact:
+		app, err := resolveApp(spec.App, spec.app, spec.Options.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		sig, err := runAppImpact(spec.Options, *cal, app, spec.Slot)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Signature: &sig}, nil
+	case RunInjectorImpact:
+		sig, err := runInjectorImpact(spec.Options, *cal, spec.Injector)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Signature: &sig}, nil
+	case RunBaseline:
+		app, err := resolveApp(spec.App, spec.app, spec.Options.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		rt, err := runBaseline(spec.Options, app, spec.Slot)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Runtime: &rt}, nil
+	case RunCompress:
+		app, err := resolveApp(spec.App, spec.app, spec.Options.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		rt, err := runCompress(spec.Options, app, spec.Injector, spec.Slot)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Runtime: &rt}, nil
+	case RunPair:
+		appA, err := resolveApp(spec.App, spec.app, spec.Options.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		appB, err := resolveApp(spec.CoApp, spec.coApp, spec.Options.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		var ra, rb Runtime
+		if spec.Placed {
+			ra, rb, err = runPairPlaced(spec.Options, appA, appB)
+		} else {
+			ra, rb, err = runPair(spec.Options, appA, appB)
+		}
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{Runtime: &ra, RuntimeB: &rb}, nil
+	default:
+		return Artifact{}, fmt.Errorf("core: unknown run kind %q", spec.Kind)
+	}
+}

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// testOptions returns the small 6-node CI options every engine test runs
+// with, so live simulations stay fast.
+func testOptions() core.Options { return core.TestOptions() }
+
+// jsonBlobs lists every artifact blob under a cache directory.
+func jsonBlobs(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestStoreRoundTrip is the persistence fidelity test: an artifact loaded by
+// a fresh engine (fresh process, as far as the store can tell) must be
+// deeply identical to the one the simulation produced, including histogram
+// bins, per-sample latencies and phase windows.
+func TestStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	o := testOptions()
+	e1 := MustNew(dir)
+	cal1, err := e1.Calibration(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e1.Stats(); st.Simulated != 1 || st.Stored != 1 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if n := len(jsonBlobs(t, dir)); n != 1 {
+		t.Fatalf("store holds %d blobs, want 1", n)
+	}
+
+	e2 := MustNew(dir)
+	cal2, err := e2.Calibration(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.Simulated != 0 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	if !reflect.DeepEqual(cal1, cal2) {
+		t.Fatal("calibration artifact not identical after disk round-trip")
+	}
+
+	// The same engine serves repeats from memory.
+	if _, err := e2.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.MemoryHits != 1 {
+		t.Fatalf("repeat not served from memory: %+v", st)
+	}
+}
+
+// TestCorruptArtifactFallsBack: a truncated/garbage blob must be counted,
+// fall back to a live simulation and be repaired in place.
+func TestCorruptArtifactFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	o := testOptions()
+	e1 := MustNew(dir)
+	cal1, err := e1.Calibration(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := jsonBlobs(t, dir)
+	if len(blobs) != 1 {
+		t.Fatalf("store holds %d blobs, want 1", len(blobs))
+	}
+	if err := os.WriteFile(blobs[0], []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := MustNew(dir)
+	cal2, err := e2.Calibration(o)
+	if err != nil {
+		t.Fatalf("corrupt blob should fall back to simulation, got %v", err)
+	}
+	st := e2.Stats()
+	if st.LoadErrors != 1 || st.Simulated != 1 || st.DiskHits != 0 {
+		t.Fatalf("fallback stats = %+v", st)
+	}
+	if !reflect.DeepEqual(cal1, cal2) {
+		t.Fatal("re-simulated artifact differs from the original")
+	}
+
+	// The rewrite repaired the store: a third engine hits disk again.
+	e3 := MustNew(dir)
+	if _, err := e3.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	if st := e3.Stats(); st.DiskHits != 1 {
+		t.Fatalf("store not repaired: %+v", st)
+	}
+}
+
+// TestMemoryOnlyEngine: with caching disabled the engine simulates live,
+// writes nothing, and still memoizes in-process.
+func TestMemoryOnlyEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	e := MustNew("")
+	if e.Persistent() {
+		t.Fatal("memory-only engine claims persistence")
+	}
+	if e.StoreDir() != "" {
+		t.Fatalf("memory-only engine has store dir %q", e.StoreDir())
+	}
+	o := testOptions()
+	if _, err := e.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Simulated != 1 || st.MemoryHits != 1 || st.Stored != 0 || st.DiskHits != 0 {
+		t.Fatalf("memory-only stats = %+v", st)
+	}
+}
+
+// TestSingleflightDeduplication: concurrent identical specs run one
+// simulation; everyone gets the same artifact.
+func TestSingleflightDeduplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	e := MustNew("")
+	o := testOptions()
+	const n = 8
+	cals := make([]core.Calibration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cals[i], errs[i] = e.Calibration(o)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(cals[0], cals[i]) {
+			t.Fatalf("goroutine %d got a different artifact", i)
+		}
+	}
+	if st := e.Stats(); st.Simulated != 1 {
+		t.Fatalf("%d simulations for one spec: %+v", st.Simulated, st)
+	}
+}
+
+// TestEngineResolvesCalibrationDependency: an impact request on a cold
+// engine runs (and caches) the calibration it depends on.
+func TestEngineResolvesCalibrationDependency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	e := MustNew("")
+	o := testOptions()
+	sig, err := e.InjectorImpact(o, inject.NewConfig(1, 1, 2.5e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.UtilizationPct <= 0 {
+		t.Fatalf("injector utilization = %v, want > 0", sig.UtilizationPct)
+	}
+	// calibrate + injector impact.
+	if st := e.Stats(); st.Simulated != 2 {
+		t.Fatalf("stats = %+v, want 2 simulated", st)
+	}
+	// A direct calibration request now hits memory.
+	if _, err := e.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.MemoryHits != 1 {
+		t.Fatalf("calibration dependency not cached: %+v", st)
+	}
+}
+
+// TestBuildProfileFromCache: BuildProfile on a warm engine performs no new
+// simulations and produces one point per grid configuration.
+func TestBuildProfileFromCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	e := MustNew("")
+	o := testOptions()
+	grid := inject.ReducedGrid()[:2]
+	app, err := workload.ByName("FFTW", o.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := e.BuildProfile(o, app, grid, core.SlotAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Points) != len(grid) {
+		t.Fatalf("profile has %d points, want %d", len(prof.Points), len(grid))
+	}
+	cold := e.Stats()
+	prof2, err := e.BuildProfile(o, app, grid, core.SlotAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Stats()
+	if warm.Simulated != cold.Simulated {
+		t.Fatalf("warm BuildProfile simulated %d new runs", warm.Simulated-cold.Simulated)
+	}
+	if !reflect.DeepEqual(prof, prof2) {
+		t.Fatal("warm profile differs from cold profile")
+	}
+}
+
+func TestParallelBoundsWorkersAndJoinsErrors(t *testing.T) {
+	var cur, peak atomic.Int64
+	boom := errors.New("boom")
+	err := Parallel(32, 4,
+		func(i int) string { return "job" },
+		func(i int) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			defer cur.Add(-1)
+			if i%8 == 0 {
+				return boom
+			}
+			return nil
+		})
+	if peak.Load() > 4 {
+		t.Fatalf("worker pool peaked at %d concurrent tasks, want <= 4", peak.Load())
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if got := strings.Count(err.Error(), "boom"); got != 4 {
+		t.Fatalf("joined error reports %d failures, want 4:\n%v", got, err)
+	}
+	if err := Parallel(0, 4, nil, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("zero tasks should succeed: %v", err)
+	}
+}
+
+// TestStatsString: the one-line summary carries the warm-campaign signal.
+func TestStatsString(t *testing.T) {
+	s := Stats{MemoryHits: 2, DiskHits: 3, Simulated: 0}
+	if got := s.String(); !strings.Contains(got, "0 simulated") {
+		t.Fatalf("warm stats line missing zero-simulations signal: %q", got)
+	}
+	s = Stats{Simulated: 5, Deduped: 1, LoadErrors: 2}
+	line := s.String()
+	for _, want := range []string{"5 simulated", "1 deduplicated", "2 load errors"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line %q missing %q", line, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Parallel is the campaign runner: it executes n independent tasks on at
+// most workers goroutines.  Every task runs to completion regardless of
+// failures, and every failure is kept — the returned error joins each task's
+// error (errors.Join), wrapped with the task's label, so a campaign surfaces
+// every failed run instead of an arbitrary first one.
+func Parallel(n, workers int, label func(i int) string, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := task(i); err != nil {
+					if label != nil {
+						err = fmt.Errorf("%s: %w", label(i), err)
+					}
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"github.com/hpcperf/switchprobe/internal/core"
+)
+
+// envelope is the on-disk wire form of one artifact.  The canonical spec
+// encoding rides along purely for humans debugging a cache directory; lookup
+// is by content hash alone.
+type envelope struct {
+	Schema   string        `json:"schema"`
+	Kind     string        `json:"kind"`
+	Spec     string        `json:"spec"`
+	Artifact core.Artifact `json:"artifact"`
+}
+
+// Store is the persistent half of the artifact cache: JSON blobs keyed by
+// RunSpec content hash under <dir>/<schema>/<hh>/<hash>.json, where <schema>
+// is core.SpecVersion().  A kernel or network-model version bump changes the
+// schema directory, so stale artifacts from an older simulator generation
+// are never read again.  Writes are atomic (temp file + rename), making a
+// store safe to share between concurrent processes.
+type Store struct {
+	dir    string
+	schema string
+}
+
+// OpenStore opens (creating if needed) the artifact store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	schema := core.SpecVersion()
+	full := filepath.Join(dir, schema)
+	if err := os.MkdirAll(full, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: opening artifact store: %w", err)
+	}
+	return &Store{dir: full, schema: schema}, nil
+}
+
+// Dir returns the store's schema-versioned root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path places blobs in 256 fan-out subdirectories so huge campaigns don't
+// degenerate into one giant directory.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash[:2], hash+".json")
+}
+
+// Load returns the artifact stored under hash.  A missing blob is (zero,
+// false, nil); a blob that exists but cannot be decoded, carries the wrong
+// kind, or is incomplete for its kind is reported as (zero, false, err) so
+// the caller can count the corruption and fall back to a live simulation.
+func (s *Store) Load(hash string, kind core.RunKind) (core.Artifact, bool, error) {
+	data, err := os.ReadFile(s.path(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return core.Artifact{}, false, nil
+	}
+	if err != nil {
+		return core.Artifact{}, false, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return core.Artifact{}, false, fmt.Errorf("engine: corrupt artifact %s: %w", hash[:12], err)
+	}
+	if env.Schema != s.schema {
+		return core.Artifact{}, false, fmt.Errorf("engine: artifact %s has schema %q, want %q", hash[:12], env.Schema, s.schema)
+	}
+	if env.Kind != string(kind) {
+		return core.Artifact{}, false, fmt.Errorf("engine: artifact %s is a %s run, want %s", hash[:12], env.Kind, kind)
+	}
+	if !env.Artifact.Complete(kind) {
+		return core.Artifact{}, false, fmt.Errorf("engine: artifact %s is incomplete for kind %s", hash[:12], kind)
+	}
+	return env.Artifact, true, nil
+}
+
+// Save persists an artifact under its spec's hash.  The write is atomic: a
+// reader never observes a half-written blob, and concurrent writers of the
+// same hash (which by construction hold identical content) last-write-wins
+// harmlessly.
+func (s *Store) Save(spec core.RunSpec, hash string, art core.Artifact) error {
+	dir := filepath.Dir(s.path(hash))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(envelope{
+		Schema:   s.schema,
+		Kind:     string(spec.Kind),
+		Spec:     spec.Canonical(),
+		Artifact: art,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-"+hash[:12]+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -8,18 +8,21 @@
 //	Fig. 8  — per-pair prediction error of the four models
 //	Fig. 9  — per-model error quartile summary
 //
-// A Suite caches the shared measurement artifacts (calibration, impact
-// signatures, compression profiles, co-run measurements) so the figures can
-// be produced independently or together without repeating expensive runs.
-// Independent simulation runs execute in parallel across CPU cores.
+// A Suite requests every measurement it needs as a declarative RunSpec from
+// an artifact engine (internal/engine), which deduplicates identical runs,
+// memoizes them in-process and — when backed by a cache directory — persists
+// them, so the figures can be produced independently or together without
+// repeating expensive runs, and a warm re-run of a whole campaign executes
+// zero simulations.  Independent simulation runs execute in parallel across
+// CPU cores.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/inject"
 	"github.com/hpcperf/switchprobe/internal/predict"
 	"github.com/hpcperf/switchprobe/internal/sim"
@@ -96,7 +99,8 @@ func NewConfig(preset Preset, seed int64) (Config, error) {
 			Scale:       o.Scale,
 		}, nil
 	default:
-		return Config{}, fmt.Errorf("experiments: unknown preset %q", preset)
+		return Config{}, fmt.Errorf("experiments: unknown preset %q (valid: %s, %s, %s)",
+			preset, PresetPaper, PresetDefault, PresetCI)
 	}
 }
 
@@ -133,44 +137,46 @@ func pruneGrid(grid []inject.Config) []inject.Config {
 	return out
 }
 
-// parallelism resolves the configured worker count.
+// parallelism resolves the configured worker count.  It follows
+// GOMAXPROCS rather than the raw CPU count, so cgroup-limited environments
+// (CI runners, containers) that cap GOMAXPROCS are not oversubscribed.
 func (c Config) parallelism() int {
 	if c.Parallelism > 0 {
 		return c.Parallelism
 	}
-	return runtime.NumCPU()
+	return runtime.GOMAXPROCS(0)
 }
 
 // apps instantiates the application registry at the configured scale.
 func (c Config) apps() []workload.App { return workload.Registry(c.Scale) }
 
-// Suite runs experiments and caches their shared artifacts.
+// Suite runs experiments; every measurement flows through its artifact
+// engine, which caches and deduplicates the shared runs (calibration, impact
+// signatures, baselines, compressions, co-runs).
 type Suite struct {
 	cfg Config
-
-	mu        sync.Mutex
-	cal       *core.Calibration
-	appSigs   map[string]core.Signature
-	injSigs   map[string]core.Signature
-	baselines map[string]core.Runtime
-	profiles  map[string]core.Profile
-	pairs     map[predict.Pairing]float64
+	eng *engine.Engine
 }
 
-// NewSuite creates an experiment suite for the configuration.
+// NewSuite creates an experiment suite with an in-process (memory-only)
+// artifact engine, preserving the historical "measure once per process"
+// semantics.
 func NewSuite(cfg Config) *Suite {
-	return &Suite{
-		cfg:       cfg,
-		appSigs:   make(map[string]core.Signature),
-		injSigs:   make(map[string]core.Signature),
-		baselines: make(map[string]core.Runtime),
-		profiles:  make(map[string]core.Profile),
-		pairs:     make(map[predict.Pairing]float64),
-	}
+	return NewSuiteWithEngine(cfg, engine.MustNew(""))
+}
+
+// NewSuiteWithEngine creates a suite on an existing engine — typically one
+// backed by a persistent cache directory, or one shared between suites so
+// campaigns with overlapping specs reuse each other's runs.
+func NewSuiteWithEngine(cfg Config, eng *engine.Engine) *Suite {
+	return &Suite{cfg: cfg, eng: eng}
 }
 
 // Config returns the suite's configuration.
 func (s *Suite) Config() Config { return s.cfg }
+
+// Engine returns the suite's artifact engine (for cache statistics).
+func (s *Suite) Engine() *engine.Engine { return s.eng }
 
 // SimUsage returns the aggregated discrete-event kernel activity (events
 // fired, pool reuses, fast-path hits, throughput) of every measurement run
@@ -182,312 +188,180 @@ func SimUsage() core.SimUsage { return core.SimUsageSnapshot() }
 // reports its own numbers.
 func ResetSimUsage() { core.ResetSimUsage() }
 
-// runParallel executes n independent tasks on a bounded worker pool and
-// returns the first error encountered (all tasks still run to completion).
-func (s *Suite) runParallel(n int, task func(i int) error) error {
-	workers := s.cfg.parallelism()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	errs := make([]error, n)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				errs[i] = task(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// runParallel executes n independent tasks on a bounded worker pool.  Every
+// task runs to completion; every failure is surfaced, wrapped with its run
+// label (see engine.Parallel).
+func (s *Suite) runParallel(n int, label func(i int) string, task func(i int) error) error {
+	return engine.Parallel(n, s.cfg.parallelism(), label, task)
 }
 
-// Calibration returns (measuring once) the idle-switch calibration.
+// Calibration returns the idle-switch calibration (cached by the engine).
 func (s *Suite) Calibration() (core.Calibration, error) {
-	s.mu.Lock()
-	cached := s.cal
-	s.mu.Unlock()
-	if cached != nil {
-		return *cached, nil
-	}
-	cal, err := core.Calibrate(s.cfg.Options)
-	if err != nil {
-		return core.Calibration{}, err
-	}
-	s.mu.Lock()
-	s.cal = &cal
-	s.mu.Unlock()
-	return cal, nil
+	return s.eng.Calibration(s.cfg.Options)
 }
 
-// AppSignatures returns (measuring once, in parallel) the impact signature of
-// every application.
+// AppSignatures returns (in parallel, cached by the engine) the impact
+// signature of every application.
 func (s *Suite) AppSignatures() (map[string]core.Signature, error) {
-	cal, err := s.Calibration()
-	if err != nil {
-		return nil, err
-	}
 	apps := s.cfg.apps()
-	s.mu.Lock()
-	missing := make([]workload.App, 0, len(apps))
-	for _, a := range apps {
-		if _, ok := s.appSigs[a.Name()]; !ok {
-			missing = append(missing, a)
-		}
-	}
-	s.mu.Unlock()
-	if len(missing) > 0 {
-		sigs := make([]core.Signature, len(missing))
-		err := s.runParallel(len(missing), func(i int) error {
-			sig, err := core.MeasureAppImpact(s.cfg.Options, cal, missing[i])
+	sigs := make([]core.Signature, len(apps))
+	err := s.runParallel(len(apps),
+		func(i int) string { return "impact " + apps[i].Name() },
+		func(i int) error {
+			sig, err := s.eng.AppImpact(s.cfg.Options, apps[i], core.SlotAll)
 			if err != nil {
 				return err
 			}
 			sigs[i] = sig
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		for i, a := range missing {
-			s.appSigs[a.Name()] = sigs[i]
-		}
-		s.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]core.Signature, len(s.appSigs))
-	for k, v := range s.appSigs {
-		out[k] = v
+	out := make(map[string]core.Signature, len(apps))
+	for i, a := range apps {
+		out[a.Name()] = sigs[i]
 	}
 	return out, nil
 }
 
-// InjectorSignatures returns (measuring once, in parallel) the impact
+// InjectorSignatures returns (in parallel, cached by the engine) the impact
 // signature — and therefore switch utilization — of every configuration in
 // the grid.
 func (s *Suite) InjectorSignatures(grid []inject.Config) (map[string]core.Signature, error) {
-	cal, err := s.Calibration()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	var missing []inject.Config
-	for _, cfg := range grid {
-		if _, ok := s.injSigs[cfg.Label()]; !ok {
-			missing = append(missing, cfg)
-		}
-	}
-	s.mu.Unlock()
-	if len(missing) > 0 {
-		sigs := make([]core.Signature, len(missing))
-		err := s.runParallel(len(missing), func(i int) error {
-			sig, err := core.MeasureInjectorImpact(s.cfg.Options, cal, missing[i])
+	sigs := make([]core.Signature, len(grid))
+	err := s.runParallel(len(grid),
+		func(i int) string { return "impact " + grid[i].Label() },
+		func(i int) error {
+			sig, err := s.eng.InjectorImpact(s.cfg.Options, grid[i])
 			if err != nil {
 				return err
 			}
 			sigs[i] = sig
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		for i, cfg := range missing {
-			s.injSigs[cfg.Label()] = sigs[i]
-		}
-		s.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[string]core.Signature, len(grid))
-	for _, cfg := range grid {
-		out[cfg.Label()] = s.injSigs[cfg.Label()]
+	for i, cfg := range grid {
+		out[cfg.Label()] = sigs[i]
 	}
 	return out, nil
 }
 
-// Baselines returns (measuring once, in parallel) every application's
+// Baselines returns (in parallel, cached by the engine) every application's
 // baseline iteration rate.
 func (s *Suite) Baselines() (map[string]core.Runtime, error) {
 	apps := s.cfg.apps()
-	s.mu.Lock()
-	missing := make([]workload.App, 0, len(apps))
-	for _, a := range apps {
-		if _, ok := s.baselines[a.Name()]; !ok {
-			missing = append(missing, a)
-		}
-	}
-	s.mu.Unlock()
-	if len(missing) > 0 {
-		rts := make([]core.Runtime, len(missing))
-		err := s.runParallel(len(missing), func(i int) error {
-			rt, err := core.MeasureAppBaseline(s.cfg.Options, missing[i])
+	rts := make([]core.Runtime, len(apps))
+	err := s.runParallel(len(apps),
+		func(i int) string { return "baseline " + apps[i].Name() },
+		func(i int) error {
+			rt, err := s.eng.Baseline(s.cfg.Options, apps[i], core.SlotAll)
 			if err != nil {
 				return err
 			}
 			rts[i] = rt
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		for i, a := range missing {
-			s.baselines[a.Name()] = rts[i]
-		}
-		s.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]core.Runtime, len(s.baselines))
-	for k, v := range s.baselines {
-		out[k] = v
+	out := make(map[string]core.Runtime, len(apps))
+	for i, a := range apps {
+		out[a.Name()] = rts[i]
 	}
 	return out, nil
 }
 
-// Profiles returns (measuring once, in parallel) every application's
-// compression profile over the profile grid.
+// Profiles returns (in parallel, cached by the engine) every application's
+// compression profile over the profile grid.  The primitive runs — injector
+// signatures, baselines and every (application × configuration) compression
+// — are fanned out flat across the worker pool first, then the profiles are
+// assembled from the engine's (now warm) cache.
 func (s *Suite) Profiles() (map[string]core.Profile, error) {
-	injSigs, err := s.InjectorSignatures(s.cfg.ProfileGrid)
-	if err != nil {
+	if _, err := s.InjectorSignatures(s.cfg.ProfileGrid); err != nil {
 		return nil, err
 	}
-	baselines, err := s.Baselines()
-	if err != nil {
+	if _, err := s.Baselines(); err != nil {
 		return nil, err
 	}
 	apps := s.cfg.apps()
-	s.mu.Lock()
-	allCached := true
+	type task struct {
+		app workload.App
+		cfg inject.Config
+	}
+	var tasks []task
 	for _, a := range apps {
-		if _, ok := s.profiles[a.Name()]; !ok {
-			allCached = false
+		for _, cfg := range s.cfg.ProfileGrid {
+			tasks = append(tasks, task{app: a, cfg: cfg})
 		}
 	}
-	s.mu.Unlock()
-	if !allCached {
-		type task struct {
-			app workload.App
-			cfg inject.Config
-		}
-		var tasks []task
-		for _, a := range apps {
-			for _, cfg := range s.cfg.ProfileGrid {
-				tasks = append(tasks, task{app: a, cfg: cfg})
-			}
-		}
-		degradations := make([]float64, len(tasks))
-		err := s.runParallel(len(tasks), func(i int) error {
-			rt, err := core.MeasureAppUnderInjector(s.cfg.Options, tasks[i].app, tasks[i].cfg)
-			if err != nil {
-				return err
-			}
-			degradations[i] = core.DegradationPercent(baselines[tasks[i].app.Name()], rt)
-			return nil
+	err := s.runParallel(len(tasks),
+		func(i int) string {
+			return fmt.Sprintf("compress %s under %s", tasks[i].app.Name(), tasks[i].cfg.Label())
+		},
+		func(i int) error {
+			_, err := s.eng.Compress(s.cfg.Options, tasks[i].app, tasks[i].cfg, core.SlotAll)
+			return err
 		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]core.Profile, len(apps))
+	for _, a := range apps {
+		prof, err := s.eng.BuildProfile(s.cfg.Options, a, s.cfg.ProfileGrid, core.SlotAll)
 		if err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		for _, a := range apps {
-			prof := core.Profile{App: a.Name(), Baseline: baselines[a.Name()]}
-			for i, tk := range tasks {
-				if tk.app.Name() != a.Name() {
-					continue
-				}
-				sig := injSigs[tk.cfg.Label()]
-				prof.Points = append(prof.Points, core.ProfilePoint{
-					Injector:       tk.cfg,
-					UtilizationPct: sig.UtilizationPct,
-					ImpactMean:     sig.Mean,
-					ImpactStd:      sig.StdDev,
-					ImpactHist:     sig.Hist,
-					DegradationPct: degradations[i],
-				})
-			}
-			s.profiles[a.Name()] = prof
-		}
-		s.mu.Unlock()
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]core.Profile, len(s.profiles))
-	for k, v := range s.profiles {
-		out[k] = v
+		out[a.Name()] = prof
 	}
 	return out, nil
 }
 
-// PairSlowdowns returns (measuring once, in parallel) the measured slowdown
-// of every ordered application pair relative to its baseline.
+// PairSlowdowns returns (in parallel, cached by the engine) the measured
+// slowdown of every ordered application pair relative to its baseline.
 func (s *Suite) PairSlowdowns() (map[predict.Pairing]float64, error) {
 	baselines, err := s.Baselines()
 	if err != nil {
 		return nil, err
 	}
 	apps := s.cfg.apps()
-	s.mu.Lock()
-	cached := len(s.pairs) == len(apps)*len(apps)
-	s.mu.Unlock()
-	if !cached {
-		type task struct{ a, b workload.App }
-		var tasks []task
-		for i, a := range apps {
-			for j, b := range apps {
-				if j < i {
-					continue // unordered co-run measured once, read both ways
-				}
-				tasks = append(tasks, task{a: a, b: b})
+	type task struct{ a, b workload.App }
+	var tasks []task
+	for i, a := range apps {
+		for j, b := range apps {
+			if j < i {
+				continue // unordered co-run measured once, read both ways
 			}
+			tasks = append(tasks, task{a: a, b: b})
 		}
-		type result struct {
-			ra, rb core.Runtime
-		}
-		results := make([]result, len(tasks))
-		err := s.runParallel(len(tasks), func(i int) error {
-			ra, rb, err := core.MeasureAppPair(s.cfg.Options, tasks[i].a, tasks[i].b)
+	}
+	type result struct {
+		ra, rb core.Runtime
+	}
+	results := make([]result, len(tasks))
+	err = s.runParallel(len(tasks),
+		func(i int) string { return fmt.Sprintf("pair %s+%s", tasks[i].a.Name(), tasks[i].b.Name()) },
+		func(i int) error {
+			ra, rb, err := s.eng.Pair(s.cfg.Options, tasks[i].a, tasks[i].b, false)
 			if err != nil {
 				return err
 			}
 			results[i] = result{ra: ra, rb: rb}
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		for i, tk := range tasks {
-			aName, bName := tk.a.Name(), tk.b.Name()
-			s.pairs[predict.Pairing{Target: aName, CoRunner: bName}] =
-				core.DegradationPercent(baselines[aName], results[i].ra)
-			s.pairs[predict.Pairing{Target: bName, CoRunner: aName}] =
-				core.DegradationPercent(baselines[bName], results[i].rb)
-		}
-		s.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[predict.Pairing]float64, len(s.pairs))
-	for k, v := range s.pairs {
-		out[k] = v
+	out := make(map[predict.Pairing]float64, len(apps)*len(apps))
+	for i, tk := range tasks {
+		aName, bName := tk.a.Name(), tk.b.Name()
+		out[predict.Pairing{Target: aName, CoRunner: bName}] =
+			core.DegradationPercent(baselines[aName], results[i].ra)
+		out[predict.Pairing{Target: bName, CoRunner: aName}] =
+			core.DegradationPercent(baselines[bName], results[i].rb)
 	}
 	return out, nil
 }

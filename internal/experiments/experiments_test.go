@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/hpcperf/switchprobe/internal/inject"
@@ -90,22 +92,34 @@ func TestRunParallelPropagatesErrors(t *testing.T) {
 	s := NewSuite(MustNewConfig(PresetCI, 1))
 	boom := errors.New("boom")
 	ran := make([]bool, 10)
-	err := s.runParallel(10, func(i int) error {
-		ran[i] = true
-		if i == 4 {
-			return boom
-		}
-		return nil
-	})
+	boom2 := errors.New("boom2")
+	err := s.runParallel(10,
+		func(i int) string { return fmt.Sprintf("task-%d", i) },
+		func(i int) error {
+			ran[i] = true
+			switch i {
+			case 4:
+				return boom
+			case 7:
+				return boom2
+			}
+			return nil
+		})
 	if !errors.Is(err, boom) {
 		t.Fatalf("error not propagated: %v", err)
+	}
+	if !errors.Is(err, boom2) {
+		t.Fatalf("second failure not aggregated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "task-4") || !strings.Contains(err.Error(), "task-7") {
+		t.Fatalf("failed run labels missing from error: %v", err)
 	}
 	for i, r := range ran {
 		if !r {
 			t.Fatalf("task %d never ran", i)
 		}
 	}
-	if err := s.runParallel(0, func(int) error { return nil }); err != nil {
+	if err := s.runParallel(0, nil, func(int) error { return nil }); err != nil {
 		t.Fatalf("zero tasks should succeed: %v", err)
 	}
 }

@@ -106,62 +106,62 @@ func (s *Suite) XSwitch(targetName, coName string) (XSwitchResult, error) {
 		res.Models = append(res.Models, m.Name())
 	}
 
-	// One task per uplink count, so the per-fabric calibration and injector
-	// signatures are measured once and shared by both placements.
+	// One task per uplink count; the per-fabric calibration and injector
+	// signatures flow through the engine's cache, so both placements (and
+	// any spec the configured fabric shares with other campaigns) reuse
+	// them.
 	points := make([][]XSwitchPoint, len(sweep))
-	err = s.runParallel(len(sweep), func(i int) error {
-		u := sweep[i]
-		o := s.cfg.Options
-		topo := netsim.FatTree{Leaves: ft.Leaves, UplinksPerLeaf: u}
-		o.Machine.Net.Topology = topo
-		cal, err := core.Calibrate(o)
-		if err != nil {
-			return fmt.Errorf("xswitch uplinks=%d: %w", u, err)
-		}
-		injSigs := make(map[string]core.Signature, len(s.cfg.ProfileGrid))
-		for _, cfg := range s.cfg.ProfileGrid {
-			sig, err := core.MeasureInjectorImpact(o, cal, cfg)
-			if err != nil {
+	err = s.runParallel(len(sweep),
+		func(i int) string { return fmt.Sprintf("xswitch uplinks=%d", sweep[i]) },
+		func(i int) error {
+			u := sweep[i]
+			o := s.cfg.Options
+			topo := netsim.FatTree{Leaves: ft.Leaves, UplinksPerLeaf: u}
+			o.Machine.Net.Topology = topo
+			if _, err := s.eng.Calibration(o); err != nil {
 				return fmt.Errorf("xswitch uplinks=%d: %w", u, err)
 			}
-			injSigs[cfg.Label()] = sig
-		}
-		for _, policy := range placements {
-			op := o
-			op.Placement = policy
-			coSig, err := core.MeasureAppImpactSlot(op, cal, coRunner, core.SlotB)
-			if err != nil {
-				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
-			}
-			prof, err := core.BuildProfileSlot(op, cal, target, s.cfg.ProfileGrid, injSigs, core.SlotA)
-			if err != nil {
-				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
-			}
-			ra, _, err := core.MeasureAppPairPlaced(op, target, coRunner)
-			if err != nil {
-				return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
-			}
-			pt := XSwitchPoint{
-				Uplinks:          u,
-				Oversubscription: topo.Oversubscription(nodes),
-				Placement:        policy,
-				BaselineIterMs:   prof.Baseline.TimePerIteration.Seconds() * 1e3,
-				MeasuredPct:      core.DegradationPercent(prof.Baseline, ra),
-				PredictedPct:     make(map[string]float64, len(models)),
-				AbsErrPct:        make(map[string]float64, len(models)),
-			}
-			for _, m := range models {
-				pred, err := m.Predict(prof, coSig)
-				if err != nil {
-					return fmt.Errorf("xswitch uplinks=%d %s %s: %w", u, policy, m.Name(), err)
+			for _, cfg := range s.cfg.ProfileGrid {
+				if _, err := s.eng.InjectorImpact(o, cfg); err != nil {
+					return fmt.Errorf("xswitch uplinks=%d: %w", u, err)
 				}
-				pt.PredictedPct[m.Name()] = pred
-				pt.AbsErrPct[m.Name()] = math.Abs(pred - pt.MeasuredPct)
 			}
-			points[i] = append(points[i], pt)
-		}
-		return nil
-	})
+			for _, policy := range placements {
+				op := o
+				op.Placement = policy
+				coSig, err := s.eng.AppImpact(op, coRunner, core.SlotB)
+				if err != nil {
+					return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+				}
+				prof, err := s.eng.BuildProfile(op, target, s.cfg.ProfileGrid, core.SlotA)
+				if err != nil {
+					return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+				}
+				ra, _, err := s.eng.Pair(op, target, coRunner, true)
+				if err != nil {
+					return fmt.Errorf("xswitch uplinks=%d %s: %w", u, policy, err)
+				}
+				pt := XSwitchPoint{
+					Uplinks:          u,
+					Oversubscription: topo.Oversubscription(nodes),
+					Placement:        policy,
+					BaselineIterMs:   prof.Baseline.TimePerIteration.Seconds() * 1e3,
+					MeasuredPct:      core.DegradationPercent(prof.Baseline, ra),
+					PredictedPct:     make(map[string]float64, len(models)),
+					AbsErrPct:        make(map[string]float64, len(models)),
+				}
+				for _, m := range models {
+					pred, err := m.Predict(prof, coSig)
+					if err != nil {
+						return fmt.Errorf("xswitch uplinks=%d %s %s: %w", u, policy, m.Name(), err)
+					}
+					pt.PredictedPct[m.Name()] = pred
+					pt.AbsErrPct[m.Name()] = math.Abs(pred - pt.MeasuredPct)
+				}
+				points[i] = append(points[i], pt)
+			}
+			return nil
+		})
 	if err != nil {
 		return XSwitchResult{}, err
 	}

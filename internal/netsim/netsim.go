@@ -29,9 +29,17 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"github.com/hpcperf/switchprobe/internal/sim"
 )
+
+// ModelVersion identifies the behavioural generation of the network model:
+// its per-hop queueing mechanics, arbitration order and random-delay
+// derivation.  Any change that can alter packet schedules must bump this
+// constant so persisted simulation artifacts keyed on it are invalidated.
+const ModelVersion = 2
 
 // Config describes the fabric and its links.
 type Config struct {
@@ -81,6 +89,53 @@ func CabConfig() Config {
 		TailProb:          0.02,
 		TailDelay:         2 * sim.Microsecond,
 		EgressBufferBytes: 16 * 1024,
+	}
+}
+
+// Fingerprint returns a canonical, deterministic encoding of every field
+// that influences simulated packet behaviour, including the topology.  It is
+// the network layer's contribution to content-addressed run hashing: two
+// configs with equal fingerprints produce identical packet schedules for the
+// same kernel seed.  New Config fields MUST be added here.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d;bw=%s;mtu=%d;wire=%d;fabric=%d;jitter=%d;tailp=%s;taild=%d;ebuf=%d;topo=%s",
+		c.Nodes,
+		strconv.FormatFloat(c.LinkBandwidth, 'g', -1, 64),
+		c.MTU,
+		int64(c.WireDelay),
+		int64(c.FabricDelay),
+		int64(c.FabricJitter),
+		strconv.FormatFloat(c.TailProb, 'g', -1, 64),
+		int64(c.TailDelay),
+		c.EgressBufferBytes,
+		TopologyFingerprint(c.topology()))
+	return b.String()
+}
+
+// TopologyFingerprinter lets a custom Topology implementation provide its own
+// canonical parameter encoding for content-addressed run hashing.
+type TopologyFingerprinter interface {
+	Fingerprint() string
+}
+
+// TopologyFingerprint canonically encodes a topology's identity and
+// parameters.  The built-in topologies encode their struct fields; custom
+// implementations may implement TopologyFingerprinter, otherwise the Go
+// value syntax of the topology value is used (adequate for flat parameter
+// structs, ambiguous for pointer-rich ones — implement the interface then).
+func TopologyFingerprint(t Topology) string {
+	switch topo := t.(type) {
+	case nil:
+		return "star"
+	case TopologyFingerprinter:
+		return topo.Fingerprint()
+	case Star:
+		return "star"
+	case FatTree:
+		return fmt.Sprintf("fattree(leaves=%d,uplinks=%d)", topo.Leaves, topo.UplinksPerLeaf)
+	default:
+		return fmt.Sprintf("%s:%#v", t.Name(), t)
 	}
 }
 

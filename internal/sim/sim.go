@@ -27,6 +27,13 @@ import (
 	"sort"
 )
 
+// KernelVersion identifies the behavioural generation of the kernel: its
+// event ordering, random-stream derivation and scheduling fast paths.  Any
+// change that can alter the event schedule (and therefore every measurement
+// derived from it) must bump this constant so persisted simulation artifacts
+// keyed on it are invalidated.
+const KernelVersion = 2
+
 // Time is a point in virtual time, expressed in nanoseconds since the start
 // of the simulation.
 type Time int64

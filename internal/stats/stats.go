@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -276,6 +277,47 @@ func (h *Histogram) Count(i int) int { return h.counts[i] }
 // Counts returns a copy of the raw bin counts.
 func (h *Histogram) Counts() []int {
 	return append([]int(nil), h.counts...)
+}
+
+// histogramJSON is the wire form of a Histogram; the sample total is
+// derivable from the counts and therefore not stored.
+type histogramJSON struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int   `json:"counts"`
+}
+
+// MarshalJSON encodes the histogram, including its unexported bin counts, so
+// measurement artifacts containing histograms can be persisted.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Lo: h.Lo, Hi: h.Hi, Counts: h.Counts()})
+}
+
+// UnmarshalJSON restores a histogram persisted by MarshalJSON, validating
+// the range and bin shape so corrupt artifacts surface as errors instead of
+// panics in later bin arithmetic.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) == 0 {
+		return errors.New("stats: histogram JSON has no bins")
+	}
+	if !(w.Hi > w.Lo) {
+		return fmt.Errorf("stats: histogram JSON has invalid range [%v, %v)", w.Lo, w.Hi)
+	}
+	total := 0
+	for _, c := range w.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: histogram JSON has negative bin count %d", c)
+		}
+		total += c
+	}
+	h.Lo, h.Hi = w.Lo, w.Hi
+	h.counts = w.Counts
+	h.total = total
+	return nil
 }
 
 // Frequencies returns the fraction of samples per bin (sums to 1 for a

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -208,6 +210,34 @@ func TestHistogramErrors(t *testing.T) {
 		}
 	}()
 	MustHistogram(1, 0, 3)
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := MustHistogram(0, 20, 8)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) * 0.3)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, &back) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", h, &back)
+	}
+	for _, corrupt := range []string{
+		`{"lo":0,"hi":20,"counts":[]}`,
+		`{"lo":20,"hi":0,"counts":[1]}`,
+		`{"lo":0,"hi":20,"counts":[-1]}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(corrupt), &back); err == nil {
+			t.Fatalf("corrupt histogram %q accepted", corrupt)
+		}
+	}
 }
 
 func TestHistogramCloneIndependence(t *testing.T) {

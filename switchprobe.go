@@ -29,6 +29,7 @@ package switchprobe
 import (
 	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/inject"
 	"github.com/hpcperf/switchprobe/internal/model"
@@ -257,6 +258,45 @@ func EvaluatePair(models []Predictor, target Profile, coRunner Signature,
 	return predict.Evaluate(models, target, coRunner, measuredPct)
 }
 
+// --- declarative runs and the artifact engine --------------------------------
+
+// RunSpec fully describes one simulation run as a value, with a canonical
+// encoding and a stable content hash; it is the unit of caching.
+type RunSpec = core.RunSpec
+
+// RunArtifact is the result of executing one RunSpec.
+type RunArtifact = core.Artifact
+
+// RunSpec constructors, one per measurement primitive.
+func CalibrateRunSpec(o Options) RunSpec { return core.CalibrateSpec(o) }
+func AppImpactRunSpec(o Options, app App, slot Slot) RunSpec {
+	return core.AppImpactSpec(o, app, slot)
+}
+func InjectorImpactRunSpec(o Options, cfg InjectorConfig) RunSpec {
+	return core.InjectorImpactSpec(o, cfg)
+}
+func BaselineRunSpec(o Options, app App, slot Slot) RunSpec { return core.BaselineSpec(o, app, slot) }
+func CompressRunSpec(o Options, app App, cfg InjectorConfig, slot Slot) RunSpec {
+	return core.CompressSpec(o, app, cfg, slot)
+}
+func PairRunSpec(o Options, a, b App, placed bool) RunSpec { return core.PairSpec(o, a, b, placed) }
+
+// Engine executes RunSpecs through an in-memory + on-disk content-addressed
+// artifact cache with deduplication of concurrent identical runs.
+type Engine = engine.Engine
+
+// CacheStats counts how an engine satisfied artifact requests.
+type CacheStats = engine.Stats
+
+// NewEngine creates an artifact engine.  A non-empty cacheDir persists
+// artifacts to a content-addressed store (shared by swprobe and swpredict);
+// an empty cacheDir memoizes in-process only.
+func NewEngine(cacheDir string) (*Engine, error) { return engine.New(cacheDir) }
+
+// SpecVersion identifies the canonical RunSpec encoding and the simulator
+// generations beneath it; persisted artifacts are keyed on it.
+func SpecVersion() string { return core.SpecVersion() }
+
 // --- experiment harness ----------------------------------------------------------
 
 // Preset selects an experiment scale (paper, default, ci).
@@ -280,8 +320,14 @@ func NewExperimentConfig(preset Preset, seed int64) (ExperimentConfig, error) {
 	return experiments.NewConfig(preset, seed)
 }
 
-// NewSuite creates an experiment suite.
+// NewSuite creates an experiment suite with an in-process artifact engine.
 func NewSuite(cfg ExperimentConfig) *Suite { return experiments.NewSuite(cfg) }
+
+// NewSuiteWithEngine creates a suite on an existing (typically persistent)
+// artifact engine, so repeated or overlapping campaigns reuse runs.
+func NewSuiteWithEngine(cfg ExperimentConfig, eng *Engine) *Suite {
+	return experiments.NewSuiteWithEngine(cfg, eng)
+}
 
 // Experiment result types, one per table/figure of the paper's evaluation.
 type (
