@@ -1,0 +1,30 @@
+# Developer entry points.  Everything shells out to the standard Go
+# toolchain; the targets only pin the flags so results are comparable.
+
+GO ?= go
+
+.PHONY: build test race bench bench-json vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/sim/ ./internal/netsim/ ./internal/mpisim/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Quick human-readable benchmark pass at the CI scale.
+bench:
+	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns' -benchtime 1x .
+
+# Machine-readable benchmark record: runs the headline cold-path benchmarks
+# and writes BENCH_PR4.json (name -> ns/op, events fired/elided, events/s).
+bench-json:
+	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR4.json

@@ -57,6 +57,7 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 // application) rather than a cached-artifact lookup; it is the headline
 // simulator-throughput benchmark.
 func BenchmarkFig3PacketLatencies(b *testing.B) {
+	experiments.ResetSimUsage()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
 		r, err := s.Fig3()
@@ -68,6 +69,21 @@ func BenchmarkFig3PacketLatencies(b *testing.B) {
 			b.ReportMetric(r.MeanMicros["FFTW"], "fftw_mean_us")
 		}
 	}
+	reportSimMetrics(b)
+}
+
+// reportSimMetrics attaches the aggregated simulator activity of the
+// benchmark's runs: kernel events fired, events the cut-through fast path
+// elided, and per-run event throughput.  cmd/benchjson records these into
+// BENCH_PR4.json so the perf trajectory is tracked in-repo.
+func reportSimMetrics(b *testing.B) {
+	u := experiments.SimUsage()
+	if u.Runs == 0 {
+		return
+	}
+	b.ReportMetric(float64(u.EventsFired)/float64(b.N), "events_fired/op")
+	b.ReportMetric(float64(u.EventsElided)/float64(b.N), "events_elided/op")
+	b.ReportMetric(u.EventsPerSecond(), "events/s")
 }
 
 // BenchmarkFig6CompressionUtilization regenerates the switch-utilization
@@ -117,6 +133,7 @@ func BenchmarkFig7DegradationCurves(b *testing.B) {
 // a fresh suite per iteration so ns/op measures the real co-run campaign
 // (baselines plus every unordered application pair) end to end.
 func BenchmarkTable1PairSlowdowns(b *testing.B) {
+	experiments.ResetSimUsage()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
 		r, err := s.Table1()
@@ -127,6 +144,7 @@ func BenchmarkTable1PairSlowdowns(b *testing.B) {
 			b.ReportMetric(r.SlowdownPct[0][0], "fftw_self_pct")
 		}
 	}
+	reportSimMetrics(b)
 }
 
 // BenchmarkFig8PredictionErrors regenerates the per-pair prediction errors of

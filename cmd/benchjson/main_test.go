@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine(
+		"BenchmarkFig3PacketLatencies-8 \t 3\t 721994000 ns/op\t 1.133 idle_mean_us\t 12345 events_fired/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkFig3PacketLatencies" {
+		t.Fatalf("name = %q", name)
+	}
+	if res.Iterations != 3 || res.NsPerOp != 721994000 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Metrics["idle_mean_us"] != 1.133 || res.Metrics["events_fired/op"] != 12345 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+	// Without a GOMAXPROCS suffix.
+	name, _, ok = parseBenchLine("BenchmarkX 1 100 ns/op")
+	if !ok || name != "BenchmarkX" {
+		t.Fatalf("plain name parse: %q %v", name, ok)
+	}
+	for _, bad := range []string{
+		"", "ok  \tpkg\t1.2s", "PASS", "goos: linux",
+		"BenchmarkBroken x 100 ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("line %q should not parse", bad)
+		}
+	}
+}

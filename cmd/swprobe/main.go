@@ -7,8 +7,13 @@
 //	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
 //	        [-cache-dir DIR] [-no-cache]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
+//
+// -cpuprofile/-memprofile write pprof profiles of the whole campaign, so a
+// hot-path regression can be diagnosed on any experiment without editing
+// code (go tool pprof <file>).
 //
 // The topology flags select the simulated fabric for every experiment; the
 // xswitch campaign additionally sweeps the fat-tree's oversubscription and
@@ -32,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,6 +66,8 @@ func run(args []string, out *os.File) error {
 	csvDir := fs.String("csv", "", "directory to write CSV files into (optional)")
 	cacheDir := fs.String("cache-dir", "", "directory of the persistent artifact cache (empty = in-memory only)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 	topology := fs.String("topology", "star", "network topology: star or fattree")
 	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
 	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node, no oversubscription)")
@@ -108,6 +117,31 @@ func run(args []string, out *os.File) error {
 			}
 			wanted = append(wanted, name)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "swprobe: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	experiments.ResetSimUsage()

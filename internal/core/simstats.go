@@ -21,18 +21,20 @@ type SimUsage struct {
 	EventsCancelled int64
 	PoolReuses      int64
 	FastPathEvents  int64
+	EventsElided    int64
 	ProcSwitches    int64
 	VirtualNS       int64
 	WallNS          int64
 }
 
 // EventsPerSecond returns the mean events-per-wall-second throughput of one
-// simulation run.
+// simulation run, counting both fired kernel events and events the network
+// layer's cut-through fast path executed on its deferred lane.
 func (u SimUsage) EventsPerSecond() float64 {
 	if u.WallNS <= 0 {
 		return 0
 	}
-	return float64(u.EventsFired) / (float64(u.WallNS) / 1e9)
+	return float64(u.EventsFired+u.EventsElided) / (float64(u.WallNS) / 1e9)
 }
 
 // RealTimeFactor returns how much faster than real time the simulated clock
@@ -51,9 +53,13 @@ func (u SimUsage) String() string {
 		pooledPct = 100 * float64(u.PoolReuses) / float64(u.EventsScheduled)
 		fastPct = 100 * float64(u.FastPathEvents) / float64(u.EventsScheduled)
 	}
+	elidedPct := 0.0
+	if u.EventsFired+u.EventsElided > 0 {
+		elidedPct = 100 * float64(u.EventsElided) / float64(u.EventsFired+u.EventsElided)
+	}
 	return fmt.Sprintf(
-		"%d runs, %.2fM events fired (%.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM events/s/run, %.1fx real time",
-		u.Runs, float64(u.EventsFired)/1e6, pooledPct, fastPct,
+		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM events/s/run, %.1fx real time",
+		u.Runs, float64(u.EventsFired)/1e6, float64(u.EventsElided)/1e6, elidedPct, pooledPct, fastPct,
 		float64(u.ProcSwitches)/1e6, u.EventsPerSecond()/1e6, u.RealTimeFactor())
 }
 
@@ -67,6 +73,7 @@ var simUsage struct {
 	eventsCancelled atomic.Int64
 	poolReuses      atomic.Int64
 	fastPathEvents  atomic.Int64
+	eventsElided    atomic.Int64
 	procSwitches    atomic.Int64
 	virtualNS       atomic.Int64
 	wallNS          atomic.Int64
@@ -78,6 +85,7 @@ func recordRun(k *sim.Kernel, wall time.Duration) {
 	simUsage.runs.Add(1)
 	simUsage.eventsScheduled.Add(int64(st.EventsScheduled))
 	simUsage.eventsFired.Add(int64(st.EventsFired))
+	simUsage.eventsElided.Add(int64(st.EventsElided))
 	simUsage.eventsCancelled.Add(int64(st.EventsCancelled))
 	simUsage.poolReuses.Add(int64(st.PoolReuses))
 	simUsage.fastPathEvents.Add(int64(st.FastPathEvents))
@@ -96,6 +104,7 @@ func SimUsageSnapshot() SimUsage {
 		EventsCancelled: simUsage.eventsCancelled.Load(),
 		PoolReuses:      simUsage.poolReuses.Load(),
 		FastPathEvents:  simUsage.fastPathEvents.Load(),
+		EventsElided:    simUsage.eventsElided.Load(),
 		ProcSwitches:    simUsage.procSwitches.Load(),
 		VirtualNS:       simUsage.virtualNS.Load(),
 		WallNS:          simUsage.wallNS.Load(),
@@ -111,6 +120,7 @@ func ResetSimUsage() {
 	simUsage.eventsCancelled.Store(0)
 	simUsage.poolReuses.Store(0)
 	simUsage.fastPathEvents.Store(0)
+	simUsage.eventsElided.Store(0)
 	simUsage.procSwitches.Store(0)
 	simUsage.virtualNS.Store(0)
 	simUsage.wallNS.Store(0)

@@ -28,7 +28,9 @@ package netsim
 
 import (
 	"fmt"
+
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -369,6 +371,18 @@ type Network struct {
 	msgFree []*messageState
 	blocked []*SwitchPort // scratch for tryStartUplink's blocked-port scan
 
+	// fastOn enables the cut-through fast path (see fastpath.go); lane is
+	// its deferred event queue.
+	fastOn bool
+	lane   lane
+
+	// serSize/serVal memoize the last two distinct packet serialization
+	// times (every link shares one bandwidth).  Traffic is dominated by
+	// full-MTU segments plus one probe size, so the per-packet floating
+	// point divides almost always hit the cache.
+	serSize [2]int
+	serVal  [2]sim.Duration
+
 	// Pipeline-stage callbacks bound once at construction; every per-packet
 	// event is scheduled through sim.Kernel.Call with one of these, so no
 	// closures are allocated on the hot path.
@@ -382,6 +396,7 @@ type Network struct {
 	bytesDelivered   int64
 	bytesByClass     map[string]int64
 	stallEvents      int64
+	cutThroughEvents int64
 }
 
 // New creates a network attached to kernel k.
@@ -404,6 +419,7 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		layout:       layout,
 		rng:          k.NewRand("netsim"),
 		bytesByClass: make(map[string]int64),
+		fastOn:       os.Getenv("SWITCHPROBE_NO_CUTTHROUGH") == "",
 	}
 	link := Link{Bandwidth: cfg.LinkBandwidth, Delay: cfg.WireDelay}
 	queueCap := 16
@@ -437,6 +453,11 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	n.arriveFn = func(a any) { n.arrive(a.(*packet)) }
 	n.portDoneFn = func(a any) { n.portDone(a.(*packet)) }
 	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
+	if n.fastOn && k.SetAux(n) != nil {
+		// Another network already runs its lane on this kernel; this one
+		// falls back to plain kernel events (schedules are identical).
+		n.fastOn = false
+	}
 	return n, nil
 }
 
@@ -516,12 +537,30 @@ func (n *Network) LeafOf(node int) int { return n.layout.LeafOf[node] }
 // dst crosses (1 on a single switch, 3 across a fat-tree's spine).
 func (n *Network) PathHops(src, dst int) int { return len(n.routes[src*n.cfg.Nodes+dst]) }
 
-// Observe registers fn to be called for every delivered packet.
-func (n *Network) Observe(fn func(Delivery)) { n.observers = append(n.observers, fn) }
+// Observe registers fn to be called for every delivered packet, at the
+// packet's arrival instant (the cut-through fast path advances the kernel
+// clock through deferred deliveries, so observers always see the true
+// virtual clock).
+func (n *Network) Observe(fn func(Delivery)) {
+	n.drainGuard()
+	n.observers = append(n.observers, fn)
+}
 
-// serialization returns the time to push size bytes over one link.
+// serialization returns the time to push size bytes over one link (all
+// links share one bandwidth), memoizing the last two distinct sizes.
 func (n *Network) serialization(size int) sim.Duration {
-	return Link{Bandwidth: n.cfg.LinkBandwidth}.Serialization(size)
+	if n.serSize[0] == size {
+		return n.serVal[0]
+	}
+	if n.serSize[1] == size {
+		n.serSize[0], n.serSize[1] = size, n.serSize[0]
+		n.serVal[0], n.serVal[1] = n.serVal[1], n.serVal[0]
+		return n.serVal[0]
+	}
+	v := Link{Bandwidth: n.cfg.LinkBandwidth}.Serialization(size)
+	n.serSize[1], n.serVal[1] = n.serSize[0], n.serVal[0]
+	n.serSize[0], n.serVal[0] = size, v
+	return v
 }
 
 // SendMessage injects a message of size bytes from node src to node dst on
@@ -557,6 +596,7 @@ func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState)
 		n.putMessageState(ms)
 		return fmt.Errorf("netsim: non-positive message size %d", size)
 	}
+	n.drainGuard()
 	npkts := (size + n.cfg.MTU - 1) / n.cfg.MTU
 	ms.remaining = npkts
 	nc, fq := n.flowQueueFor(src, flow)
@@ -588,6 +628,7 @@ func (n *Network) SendProbe(src, dst, size int, flow Flow, onDeliver func(Delive
 	if size <= 0 || size > n.cfg.MTU {
 		return fmt.Errorf("netsim: probe size %d outside (0, MTU=%d]", size, n.cfg.MTU)
 	}
+	n.drainGuard()
 	p := n.getPacket()
 	p.src, p.dst, p.size, p.flow, p.sent, p.onDeliver = src, dst, size, flow, n.k.Now(), onDeliver
 	p.route, p.hop = n.routes[src*n.cfg.Nodes+dst], 0
@@ -682,10 +723,10 @@ func (n *Network) tryStartUplink(nc *nic) {
 	n.blocked = blocked[:0]
 	nc.stalled = false
 	chosen.route[0].buffered += chosen.size // credit reserved while in flight
-	ser := nc.link.Serialization(chosen.size)
+	ser := n.serialization(chosen.size)
 	nc.busy = true
 	nc.busyNS += ser
-	n.k.Call(ser, n.uplinkDoneFn, chosen)
+	n.post(ser, laneUplinkDone, n.uplinkDoneFn, chosen)
 }
 
 // fabricDelay draws the stochastic overhead of one switch traversal: mean
@@ -712,7 +753,7 @@ func (n *Network) fabricDelay() sim.Duration {
 func (n *Network) uplinkDone(p *packet) {
 	nc := n.nics[p.src]
 	nc.busy = false
-	n.k.Call(nc.link.Delay+n.fabricDelay(), n.arriveFn, p)
+	n.post(nc.link.Delay+n.fabricDelay(), laneArrive, n.arriveFn, p)
 	n.tryStartUplink(nc)
 }
 
@@ -745,9 +786,9 @@ func (n *Network) tryStartPort(pt *SwitchPort) {
 	}
 	pt.queue.pop()
 	pt.busy = true
-	ser := pt.link.Serialization(p.size)
+	ser := n.serialization(p.size)
 	pt.busyNS += ser
-	n.k.Call(ser, n.portDoneFn, p)
+	n.post(ser, lanePortDone, n.portDoneFn, p)
 }
 
 // portDone frees the port after a packet's serialization, releases the
@@ -761,9 +802,9 @@ func (n *Network) portDone(p *packet) {
 	n.wakeWaiters(pt)
 	p.hop++
 	if p.hop < len(p.route) {
-		n.k.Call(pt.link.Delay+n.fabricDelay(), n.arriveFn, p)
+		n.post(pt.link.Delay+n.fabricDelay(), laneArrive, n.arriveFn, p)
 	} else {
-		n.k.Call(pt.link.Delay, n.deliverFn, p)
+		n.postDeliver(pt.link.Delay, p)
 	}
 	n.tryStartPort(pt)
 }
@@ -785,12 +826,20 @@ func (n *Network) wakeWaiters(pt *SwitchPort) {
 	}
 }
 
-// deliver hands the packet to its destination and recycles it.
-func (n *Network) deliver(p *packet) {
+// deliver hands the packet to its destination and recycles it (kernel event
+// context: the arrival instant is the kernel clock; the kernel has already
+// drained every deferred lane entry ordered before this event).
+func (n *Network) deliver(p *packet) { n.deliverAt(p, n.k.Now()) }
+
+// deliverAt is the delivery bookkeeping at an explicit arrival instant; at
+// always equals the kernel clock (the fast path advances the clock to the
+// entry's timestamp before executing it), so completion callbacks, probe
+// callbacks and observers all run at the packet's true arrival time.
+func (n *Network) deliverAt(p *packet, at sim.Time) {
 	n.packetsDelivered++
 	n.bytesDelivered += int64(p.size)
 	n.bytesByClass[p.flow.Class] += int64(p.size)
-	d := Delivery{Src: p.src, Dst: p.dst, Size: p.size, Flow: p.flow, Sent: p.sent, Arrived: n.k.Now()}
+	d := Delivery{Src: p.src, Dst: p.dst, Size: p.size, Flow: p.flow, Sent: p.sent, Arrived: at}
 	for _, obs := range n.observers {
 		obs(d)
 	}
@@ -803,9 +852,9 @@ func (n *Network) deliver(p *packet) {
 			done, fnArg, arg := ms.onComplete, ms.fnArg, ms.arg
 			n.putMessageState(ms)
 			if done != nil {
-				done(n.k.Now())
+				done(at)
 			} else if fnArg != nil {
-				fnArg(n.k.Now(), arg)
+				fnArg(at, arg)
 			}
 		}
 	}
@@ -818,6 +867,11 @@ type Stats struct {
 	BytesDelivered   int64
 	BytesByClass     map[string]int64
 	StallEvents      int64
+	// CutThroughEvents is the number of would-be kernel events the
+	// cut-through fast path computed analytically instead of scheduling.
+	// It changes with contention and fast-path availability but never with
+	// the simulated schedule itself.
+	CutThroughEvents int64
 	// UplinkBusy and DownlinkBusy are the cumulative transmission times per
 	// node link.
 	UplinkBusy   []sim.Duration
@@ -830,11 +884,13 @@ type Stats struct {
 
 // Stats returns a snapshot of the network's counters.
 func (n *Network) Stats() Stats {
+	n.drainGuard()
 	s := Stats{
 		PacketsDelivered: n.packetsDelivered,
 		BytesDelivered:   n.bytesDelivered,
 		BytesByClass:     make(map[string]int64, len(n.bytesByClass)),
 		StallEvents:      n.stallEvents,
+		CutThroughEvents: n.cutThroughEvents,
 	}
 	for k, v := range n.bytesByClass {
 		s.BytesByClass[k] = v
@@ -860,6 +916,7 @@ func (n *Network) MeanLinkUtilization(elapsed sim.Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
+	n.drainGuard()
 	var sum float64
 	for _, pt := range n.egress {
 		sum += float64(pt.busyNS) / float64(elapsed)

@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -127,6 +128,12 @@ type Stats struct {
 	// FastPathEvents is the number of events that bypassed the timer heap
 	// through the same-instant FIFO ring.
 	FastPathEvents uint64
+	// EventsElided is the number of would-be events a client simulated
+	// analytically instead of scheduling (reported via NoteElided); the
+	// network layer's cut-through fast path is the main contributor.  The
+	// schedule is byte-identical with or without elision — only the kernel's
+	// bookkeeping cost changes.
+	EventsElided uint64
 	// ProcSwitches is the number of kernel-to-process control transfers.
 	ProcSwitches uint64
 }
@@ -183,13 +190,18 @@ func (r *eventRing) pop() *Event {
 // Run/RunUntil or from code executed by the kernel itself (events and
 // processes).
 type Kernel struct {
-	now    Time
-	events []*Event // binary min-heap ordered by (at, seq)
-	nowq   eventRing
-	pool   []*Event
-	seq    uint64
-	seed   int64
-	stats  Stats
+	now     Time
+	events  []*Event // binary min-heap ordered by (at, seq)
+	nowq    eventRing
+	pool    []*Event
+	seq     uint64
+	curSeq  uint64
+	postGen uint64
+	seed    int64
+	stats   Stats
+
+	// aux is the attached deferred event lane, if any (see AuxQueue).
+	aux AuxQueue
 
 	procSeq int
 	procs   []*Proc
@@ -218,6 +230,94 @@ func (k *Kernel) Seed() int64 { return k.seed }
 
 // Stats returns a snapshot of the kernel's activity counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// NoteElided records n events that a client executed through its own deferred
+// lane instead of scheduling them as kernel events.  It only feeds the
+// EventsElided statistic; it has no effect on execution.
+func (k *Kernel) NoteElided(n uint64) { k.stats.EventsElided += n }
+
+// AllocSeq hands out the next event sequence number without scheduling
+// anything.  A client that runs its own deferred event lane (netsim's
+// cut-through path) stamps each lane entry with a real sequence number at the
+// moment it would have scheduled the event, so lane entries and kernel events
+// remain totally ordered by (time, seq) exactly as if every entry had been a
+// kernel event.  The allocation counts as a scheduled event in Stats.
+func (k *Kernel) AllocSeq() uint64 {
+	s := k.seq
+	k.seq++
+	k.stats.EventsScheduled++
+	return s
+}
+
+// NextSeq returns the sequence number the next scheduled event (or AllocSeq
+// call) will receive, without consuming it.  A deferred lane peeks it to
+// decide whether an entry still fits its packed-key range before allocating.
+func (k *Kernel) NextSeq() uint64 { return k.seq }
+
+// CurrentSeq returns the sequence number of the event being dispatched (0
+// before the first dispatch).  Together with Now it identifies the current
+// position in the global (time, seq) event order; a deferred lane drains
+// every entry ordered before this position before the caller may touch lane
+// state.
+func (k *Kernel) CurrentSeq() uint64 { return k.curSeq }
+
+// LaneDispatch is called by the attached deferred lane as it executes each
+// entry: it advances the kernel clock to the entry's timestamp and records
+// its sequence number as the current dispatch position.  Lane drains run in
+// global (time, seq) order between kernel dispatches, so the clock stays
+// monotonic and every callback run from the lane — completions, observers —
+// sees exactly the clock it would have seen as a kernel event.
+func (k *Kernel) LaneDispatch(at Time, seq uint64) {
+	if at > k.now {
+		k.now = at
+	}
+	k.curSeq = seq
+}
+
+// NextEventKey returns the (time, seq) key of the earliest scheduled event
+// and whether one exists.  Cancelled events are included (their key is a
+// conservative lower bound: the kernel will discard them and look again).
+// A deferred lane re-reads this every drained entry, because executing an
+// entry can schedule a real event that must run before the lane's next one.
+func (k *Kernel) NextEventKey() (Time, uint64, bool) {
+	var e *Event
+	if k.nowq.n > 0 {
+		e = k.nowq.peek()
+	}
+	if len(k.events) > 0 && (e == nil || eventLess(k.events[0], e)) {
+		e = k.events[0]
+	}
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.at, e.seq, true
+}
+
+// AuxQueue is a deferred event lane maintained by a client (netsim's
+// cut-through fast path).  The kernel gives the lane its turn in the global
+// (time, seq) event order: before dispatching an event — and before going
+// idle or stopping at a RunUntil deadline — it asks the lane to execute every
+// entry strictly ordered before the given position and not past the deadline.
+// Lane entries carry sequence numbers from AllocSeq, so "ordered before" is
+// the exact order the entries would have had as kernel events.
+type AuxQueue interface {
+	// DrainBefore executes deferred entries e with (e.at, e.seq) < (at, seq)
+	// and e.at <= deadline, in (at, seq) order, and reports whether any entry
+	// ran.  Draining may schedule new kernel events.
+	DrainBefore(at Time, seq uint64, deadline Time) bool
+}
+
+// SetAux attaches a deferred event lane to the kernel (nil detaches).  At
+// most one lane may be attached at a time; attaching over an existing lane
+// reports an error so two networks on one kernel fail loudly instead of
+// silently reordering each other.
+func (k *Kernel) SetAux(aux AuxQueue) error {
+	if aux != nil && k.aux != nil && k.aux != aux {
+		return fmt.Errorf("sim: kernel already has a deferred event lane attached")
+	}
+	k.aux = aux
+	return nil
+}
 
 // NewRand returns a deterministic random stream identified by name.  Streams
 // with distinct names are independent; the same (seed, name) pair always
@@ -351,6 +451,7 @@ func (k *Kernel) enqueue(e *Event, t Time) {
 	e.at = t
 	e.seq = k.seq
 	k.seq++
+	k.postGen++
 	k.stats.EventsScheduled++
 	if t == k.now {
 		k.nowq.push(e)
@@ -359,6 +460,12 @@ func (k *Kernel) enqueue(e *Event, t Time) {
 	}
 	k.heapPush(e)
 }
+
+// PostGen returns a counter that changes whenever a real event is scheduled.
+// A deferred lane snapshots it to detect, without re-reading the queue heads,
+// whether executing an entry scheduled a kernel event that may now be ordered
+// before the lane's next entry.
+func (k *Kernel) PostGen() uint64 { return k.postGen }
 
 // At schedules fn to run at virtual time t and returns a cancellable handle.
 // Scheduling in the past is clamped to the current time.
@@ -446,6 +553,12 @@ func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
 // clock advances solely by firing heap events, which cannot happen while ring
 // events remain; comparing the two front events by (at, seq) therefore
 // reproduces the exact global ordering of a single queue.
+//
+// An attached deferred lane (AuxQueue) gets its turn first: before an event
+// is dispatched, every lane entry ordered before it executes, and before the
+// kernel goes idle or stops at the deadline, every remaining in-deadline lane
+// entry executes.  Lane drains can schedule new kernel events, so the loop
+// re-examines the queues after each drain that made progress.
 func (k *Kernel) step(deadline Time) bool {
 	for {
 		var e *Event
@@ -460,6 +573,9 @@ func (k *Kernel) step(deadline Time) bool {
 		} else if len(k.events) > 0 {
 			e = k.events[0]
 		} else {
+			if k.aux != nil && k.aux.DrainBefore(maxTime, ^uint64(0), capDeadline(deadline)) {
+				continue
+			}
 			return false
 		}
 		if e.cancelled {
@@ -473,7 +589,14 @@ func (k *Kernel) step(deadline Time) bool {
 			continue
 		}
 		if deadline >= 0 && e.at > deadline {
+			if k.aux != nil && k.aux.DrainBefore(maxTime, ^uint64(0), deadline) {
+				continue
+			}
 			return false
+		}
+		if k.aux != nil && k.aux.DrainBefore(e.at, e.seq, capDeadline(deadline)) {
+			// The drain may have scheduled events ordered before e.
+			continue
 		}
 		if fromRing {
 			k.nowq.pop()
@@ -481,6 +604,7 @@ func (k *Kernel) step(deadline Time) bool {
 			k.heapPop()
 		}
 		k.now = e.at
+		k.curSeq = e.seq
 		k.stats.EventsFired++
 		fn, afn, arg := e.fn, e.afn, e.arg
 		k.recycle(e) // safe: callback copied out, struct may be reused by fn itself
@@ -491,6 +615,18 @@ func (k *Kernel) step(deadline Time) bool {
 		}
 		return true
 	}
+}
+
+// maxTime is the far-future sentinel used for unbounded lane drains.
+const maxTime = Time(math.MaxInt64)
+
+// capDeadline translates step's "no deadline" sentinel (-1) into the lane's
+// far-future bound.
+func capDeadline(deadline Time) Time {
+	if deadline < 0 {
+		return maxTime
+	}
+	return deadline
 }
 
 // Shutdown terminates all live processes by unwinding their goroutines.  It
