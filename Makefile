@@ -22,9 +22,9 @@ fmt:
 
 # Quick human-readable benchmark pass at the CI scale.
 bench:
-	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns' -benchtime 1x .
+	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns|SchedCampaign' -benchtime 1x .
 
 # Machine-readable benchmark record: runs the headline cold-path benchmarks
-# and writes BENCH_PR4.json (name -> ns/op, events fired/elided, events/s).
+# and writes BENCH_PR5.json (name -> ns/op, events fired/elided, events/s).
 bench-json:
-	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR5.json

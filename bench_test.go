@@ -147,6 +147,37 @@ func BenchmarkTable1PairSlowdowns(b *testing.B) {
 	reportSimMetrics(b)
 }
 
+// BenchmarkSchedCampaign runs the contention-aware scheduler campaign on the
+// headline oversubscribed fat-tree scenario: measuring the coefficient
+// library (solo baselines, placed co-run pairs, signatures, predictor
+// profiles) plus scheduling every policy's arrival streams.  Like the other
+// headline benchmarks it builds a fresh suite per iteration, so ns/op
+// measures the cold campaign end to end.
+func BenchmarkSchedCampaign(b *testing.B) {
+	experiments.ResetSimUsage()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
+		nodes := s.Config().Options.Machine.Nodes()
+		scenarios := experiments.DefaultSchedScenarios(nodes)
+		r, err := s.Sched(experiments.SchedSpec{
+			Scenarios: scenarios[len(scenarios)-1:], // the contended fabric
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			scen := r.Scenarios[0]
+			if pg, ok := r.MeanStretch(scen, "predictor"); ok {
+				b.ReportMetric(pg, "predictor_stretch")
+			}
+			if pack, ok := r.MeanStretch(scen, "pack"); ok {
+				b.ReportMetric(pack, "pack_stretch")
+			}
+		}
+	}
+	reportSimMetrics(b)
+}
+
 // BenchmarkFig8PredictionErrors regenerates the per-pair prediction errors of
 // the paper's Fig. 8.
 func BenchmarkFig8PredictionErrors(b *testing.B) {

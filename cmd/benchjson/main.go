@@ -1,7 +1,7 @@
 // Command benchjson runs the repository's Go benchmarks and writes the
 // results as machine-readable JSON, so the performance trajectory of the
-// simulator is tracked in-repo (BENCH_PR4.json) instead of in commit
-// messages.
+// simulator is tracked in-repo (BENCH_PR5.json, and its predecessors per
+// PR) instead of in commit messages.
 //
 // Usage:
 //
@@ -49,7 +49,7 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR4.json.
+// Report is the file layout of BENCH_PR5.json.
 type Report struct {
 	Preset     string                 `json:"preset"`
 	Go         string                 `json:"go"`
@@ -57,11 +57,11 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|SchedCampaign", "benchmark regexp passed to go test -bench")
 	preset := flag.String("preset", "ci", "SWITCHPROBE_BENCH_PRESET for the run (ci, default or paper)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value; the minimum ns/op across repetitions is reported")
-	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON file")
 	flag.Parse()
 
 	report, err := run(*bench, *preset, *benchtime, *count)

@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch [-preset paper|default|ci]
+//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch|sched [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
 //	        [-cache-dir DIR] [-no-cache]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
+//	        [-policy LIST|all] [-jobs N] [-arrivals MS]
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole campaign, so a
 // hot-path regression can be diagnosed on any experiment without editing
@@ -18,6 +19,11 @@
 // The topology flags select the simulated fabric for every experiment; the
 // xswitch campaign additionally sweeps the fat-tree's oversubscription and
 // compares packed vs. spread placement.
+//
+// The sched campaign streams a job arrival process through the
+// contention-aware scheduler simulator on star + fat-tree fabrics and
+// compares placement policies (-policy), including the predictor-guided one;
+// -jobs and -arrivals size the stream.
 //
 // With -cache-dir, every simulation run's artifact is persisted to a
 // content-addressed store keyed by its RunSpec hash; a warm re-run of the
@@ -47,6 +53,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
+	"github.com/hpcperf/switchprobe/internal/sched"
 	"github.com/hpcperf/switchprobe/internal/stats"
 )
 
@@ -59,7 +66,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("swprobe", flag.ContinueOnError)
-	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9, xswitch or all")
+	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9, xswitch, sched or all")
 	preset := fs.String("preset", string(experiments.PresetDefault), "scale preset: paper, default or ci")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = all CPUs)")
@@ -74,6 +81,9 @@ func run(args []string, out *os.File) error {
 	placement := fs.String("placement", "pack", "application placement across leaves: pack, spread or random")
 	targetName := fs.String("target", "FFTW", "xswitch: application whose slowdown is measured")
 	coName := fs.String("corunner", "VPFFT", "xswitch: application sharing the fabric")
+	policies := fs.String("policy", "all", "sched: comma-separated placement policies or all ("+strings.Join(sched.PolicyNames(), ", ")+")")
+	jobs := fs.Int("jobs", 0, "sched: arrival-stream length (0 = campaign default)")
+	arrivals := fs.Float64("arrivals", 0, "sched: mean job inter-arrival gap in virtual ms (0 = derive from load)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,11 +110,12 @@ func run(args []string, out *os.File) error {
 	}
 	suite := experiments.NewSuiteWithEngine(cfg, eng)
 
-	valid := make(map[string]bool, len(experiments.Names)+1)
+	valid := make(map[string]bool, len(experiments.Names)+2)
 	for _, name := range experiments.Names {
 		valid[name] = true
 	}
 	valid["xswitch"] = true
+	valid["sched"] = true
 	var wanted []string
 	if *exp == "all" {
 		wanted = experiments.Names
@@ -112,10 +123,29 @@ func run(args []string, out *os.File) error {
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
 			if !valid[name] {
-				return fmt.Errorf("unknown experiment %q (valid: %s, xswitch, all)",
+				return fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, all)",
 					name, strings.Join(experiments.Names, ", "))
 			}
 			wanted = append(wanted, name)
+		}
+	}
+
+	schedSpec := experiments.SchedSpec{
+		Jobs:               *jobs,
+		Seed:               *seed,
+		MeanInterarrivalMs: *arrivals,
+	}
+	if *policies != "" && *policies != "all" {
+		known := make(map[string]bool, len(sched.PolicyNames()))
+		for _, p := range sched.PolicyNames() {
+			known[p] = true
+		}
+		for _, p := range strings.Split(*policies, ",") {
+			p = strings.TrimSpace(p)
+			if !known[p] {
+				return fmt.Errorf("unknown policy %q (valid: %s, all)", p, strings.Join(sched.PolicyNames(), ", "))
+			}
+			schedSpec.Policies = append(schedSpec.Policies, p)
 		}
 	}
 
@@ -145,9 +175,24 @@ func run(args []string, out *os.File) error {
 	}
 
 	experiments.ResetSimUsage()
+	var schedCacheLines []string
 	for _, name := range wanted {
 		start := time.Now()
-		tbl, extra, err := runOne(suite, name, *targetName, *coName)
+		var (
+			tbl   report.Table
+			extra string
+			err   error
+		)
+		if name == "sched" {
+			var r experiments.SchedResult
+			r, err = suite.Sched(schedSpec)
+			if err == nil {
+				tbl, extra = report.SchedTable(r), experiments.SchedSummary(r)
+				schedCacheLines = schedCacheStats(r)
+			}
+		} else {
+			tbl, extra, err = runOne(suite, name, *targetName, *coName)
+		}
 		if err != nil {
 			return err
 		}
@@ -167,8 +212,39 @@ func run(args []string, out *os.File) error {
 	}
 	if eng.Stats().Lookups() > 0 {
 		fmt.Fprintf(out, "Cache: %s\n", eng.Summary())
+		for _, line := range schedCacheLines {
+			fmt.Fprintln(out, line)
+		}
 	}
 	return nil
+}
+
+// schedCacheStats summarizes, per policy, how the scheduler's coefficient
+// lookups were served, aggregated across the campaign's scenarios.  On a
+// prefetched campaign every query is an oracle-memo hit and the engine
+// portion is silent; any engine traffic (and in particular simulations)
+// means the prefetch missed a coefficient.
+func schedCacheStats(r experiments.SchedResult) []string {
+	var lines []string
+	for _, policy := range r.Policies {
+		var (
+			total           engine.Stats
+			lookups, misses int64
+		)
+		for _, row := range r.Rows {
+			if row.Policy == policy {
+				total = total.Add(row.Cache)
+				lookups += row.OracleLookups
+				misses += row.OracleMisses
+			}
+		}
+		line := fmt.Sprintf("Sched cache [%s]: %d coefficient lookups, %d memoized", policy, lookups, lookups-misses)
+		if misses > 0 {
+			line += fmt.Sprintf("; engine: %s", total)
+		}
+		lines = append(lines, line)
+	}
+	return lines
 }
 
 // runOne produces the table (and optional trailing text) of one experiment.
@@ -229,7 +305,7 @@ func runOne(suite *experiments.Suite, name, target, corunner string) (report.Tab
 		}
 		return report.XSwitchTable(r), xswitchSummary(r), nil
 	default:
-		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, xswitch, all)",
+		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, all)",
 			name, strings.Join(experiments.Names, ", "))
 	}
 }

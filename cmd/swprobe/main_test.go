@@ -196,3 +196,53 @@ func TestRunFig6EndToEnd(t *testing.T) {
 		t.Fatalf("csv not written: %v", err)
 	}
 }
+
+func TestRunValidatesSchedFlags(t *testing.T) {
+	err := run([]string{"-preset", "ci", "-exp", "sched", "-policy", "greedy"}, os.Stdout)
+	if err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if !strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "predictor") {
+		t.Fatalf("error should list the valid policies: %v", err)
+	}
+	// "sched" is accepted by the upfront experiment validation (the run
+	// itself is exercised by the slow end-to-end test below).
+	err = run([]string{"-preset", "ci", "-exp", "sched,bogus"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "sched") {
+		t.Fatalf("experiment validation should mention sched: %v", err)
+	}
+}
+
+// TestRunSchedEndToEnd runs the scheduler campaign through the CLI on the
+// contended CI fabric with a trimmed spec, checking the rendered table, the
+// summary contrast and the per-policy cache lines.
+func TestRunSchedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping sched campaign in -short mode")
+	}
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	csvDir := t.TempDir()
+	if err := run([]string{
+		"-preset", "ci", "-exp", "sched", "-policy", "pack,predictor",
+		"-jobs", "8", "-csv", csvDir,
+	}, out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{"Scheduler campaign", "fattree-", "mean_stretch", "Sched cache [pack]", "Sched cache [predictor]"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "sched.csv")); err != nil {
+		t.Fatalf("sched CSV not written: %v", err)
+	}
+}

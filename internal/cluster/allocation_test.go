@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// The scheduler subsystem drives both allocation paths (AllocatePlaced for
+// fabric-spanning measurement jobs, AllocateOnNodes for leaf-targeted
+// placements) through repeated allocate/release cycles, so the free-slot
+// accounting edge cases are pinned here: capacity exhaustion, partially
+// used sockets, uneven leaves and rollback-free failure.
+
+// TestAllocateExhaustsCapacityCleanly fills every core of the machine and
+// checks the next request fails without corrupting the accounting.
+func TestAllocateExhaustsCapacityCleanly(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	full := m.Config().CoresPerSocket
+	a, err := m.AllocatePlaced("a", full, m.Config().Nodes(), PlacePack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.AllocatedCores(), m.Config().TotalCores(); got != want {
+		t.Fatalf("allocated %d cores, want the whole machine %d", got, want)
+	}
+	for node := 0; node < m.Config().Nodes(); node++ {
+		if free := m.FreeCores(node); free != 0 {
+			t.Fatalf("node %d reports %d free cores on a full machine", node, free)
+		}
+	}
+	if _, err := m.AllocatePlaced("b", 1, 1, PlacePack); err == nil {
+		t.Fatal("expected failure on a full machine")
+	}
+	if _, err := m.AllocateOnNodes("c", 1, []int{0}); err == nil {
+		t.Fatal("expected failure on a full node")
+	}
+	m.Release(a)
+	if m.AllocatedCores() != 0 {
+		t.Fatalf("release left %d cores allocated", m.AllocatedCores())
+	}
+	if _, err := m.AllocatePlaced("b", 1, 1, PlacePack); err != nil {
+		t.Fatalf("machine not reusable after release: %v", err)
+	}
+}
+
+// TestAllocateSocketGranularity packs two half-socket jobs onto the same
+// nodes and checks the third fails exactly when the sockets run out.
+func TestAllocateSocketGranularity(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	half := m.Config().CoresPerSocket / 2
+	if _, err := m.AllocateOnNodes("a", half, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocateOnNodes("b", half, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if free := m.FreeCores(0); free != 0 {
+		t.Fatalf("node 0 has %d free cores, want 0 after two half-socket jobs", free)
+	}
+	if _, err := m.AllocateOnNodes("c", 1, []int{0}); err == nil {
+		t.Fatal("expected failure once both sockets are full")
+	}
+	// The failed allocation must not leak partial bookkeeping.
+	if got, want := m.AllocatedCores(), m.Config().CoresPerNode(); got != want {
+		t.Fatalf("allocated %d cores after failed request, want %d", got, want)
+	}
+}
+
+// TestAllocateFailureRollsBackAcrossNodes requests more nodes than are
+// fully free; the allocation must fail without committing the nodes that
+// did fit.
+func TestAllocateFailureRollsBackAcrossNodes(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	full := m.Config().CoresPerSocket
+	if _, err := m.AllocateOnNodes("blocker", full, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.AllocatedCores()
+	if _, err := m.AllocateOnNodes("big", full, []int{0, 1, 2}); err == nil {
+		t.Fatal("expected failure when node 2 is occupied")
+	}
+	if m.AllocatedCores() != before {
+		t.Fatalf("failed allocation committed cores: %d -> %d", before, m.AllocatedCores())
+	}
+	if free := m.FreeCores(0); free != m.Config().CoresPerNode() {
+		t.Fatalf("node 0 lost %d cores to a failed allocation", m.Config().CoresPerNode()-free)
+	}
+}
+
+// TestAllocatePlacedDoesNotSkipBusyNodes pins the documented contract: the
+// placed order is a fill order, not a free-node filter, so a busy node in
+// the prefix fails the request instead of being skipped.
+func TestAllocatePlacedDoesNotSkipBusyNodes(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	full := m.Config().CoresPerSocket
+	if _, err := m.AllocateOnNodes("blocker", full, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.AllocatePlaced("a", full, 2, PlacePack)
+	if err == nil {
+		t.Fatal("expected failure: pack order starts at the busy node 0")
+	}
+	if !strings.Contains(err.Error(), "not enough free cores") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// unevenMachine returns a 5-node, 2-leaf machine: leaf 0 holds nodes
+// {0,1,2}, leaf 1 only {3,4}.
+func unevenMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := CabConfig()
+	cfg.Net.Nodes = 5
+	cfg.Net.Topology = netsim.FatTree{Leaves: 2, UplinksPerLeaf: 1}
+	return MustNew(sim.NewKernel(1), cfg)
+}
+
+// TestAllocateOnUnevenLeaves exercises the short last leaf: its two nodes
+// allocate and exhaust independently of the full leaf.
+func TestAllocateOnUnevenLeaves(t *testing.T) {
+	m := unevenMachine(t)
+	if m.LeafOf(2) != 0 || m.LeafOf(3) != 1 {
+		t.Fatalf("unexpected leaf layout: LeafOf = %d,%d", m.LeafOf(2), m.LeafOf(3))
+	}
+	full := m.Config().CoresPerSocket
+	short, err := m.AllocateOnNodes("short", full, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes := short.Nodes(); len(nodes) != 2 {
+		t.Fatalf("short-leaf job spans %v", nodes)
+	}
+	if _, err := m.AllocateOnNodes("over", 1, []int{4}); err == nil {
+		t.Fatal("expected failure on the exhausted short leaf")
+	}
+	// The full leaf is untouched and still allocates placed jobs.
+	if _, err := m.AllocatePlaced("rest", full, 3, PlacePack); err != nil {
+		t.Fatalf("full leaf should still fit a 3-node job: %v", err)
+	}
+	if _, err := m.AllocatePlaced("none", 1, 1, PlacePack); err == nil {
+		t.Fatal("expected failure with every node allocated")
+	}
+}
+
+// TestNodeOrderOnUnevenLeaves checks the spread order interleaves the
+// uneven leaves without dropping or duplicating nodes.
+func TestNodeOrderOnUnevenLeaves(t *testing.T) {
+	m := unevenMachine(t)
+	spread, err := m.NodeOrder(PlaceSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 3, 1, 4, 2}; !equalInts(spread, want) {
+		t.Fatalf("spread order = %v, want %v", spread, want)
+	}
+}
+
+// TestAllocateRejectsBadRequests pins the validation boundaries.
+func TestAllocateRejectsBadRequests(t *testing.T) {
+	m := fatTreeMachine(t, 1)
+	if _, err := m.AllocateOnNodes("empty", 1, nil); err == nil {
+		t.Fatal("expected failure for an empty node list")
+	}
+	if _, err := m.AllocateOnNodes("", 1, []int{0}); err == nil {
+		t.Fatal("expected failure for a nameless job")
+	}
+	if _, err := m.AllocatePlaced("rps", m.Config().CoresPerSocket+1, 1, PlacePack); err == nil {
+		t.Fatal("expected failure for ranks-per-socket over capacity")
+	}
+	if _, err := m.AllocatePlaced("many", 1, m.Config().Nodes()+1, PlacePack); err == nil {
+		t.Fatal("expected failure for more nodes than the machine has")
+	}
+	if _, err := m.AllocatePlaced("policy", 1, 1, "bogus"); err == nil {
+		t.Fatal("expected failure for an unknown policy")
+	}
+}

@@ -266,6 +266,34 @@ func (s Stats) Lookups() int64 {
 	return s.MemoryHits + s.DiskHits + s.Deduped + s.Simulated
 }
 
+// Minus returns the counter deltas accumulated since an earlier snapshot,
+// letting callers attribute cache activity to one phase of a campaign.
+func (s Stats) Minus(prev Stats) Stats {
+	return Stats{
+		MemoryHits:  s.MemoryHits - prev.MemoryHits,
+		DiskHits:    s.DiskHits - prev.DiskHits,
+		Deduped:     s.Deduped - prev.Deduped,
+		Simulated:   s.Simulated - prev.Simulated,
+		Stored:      s.Stored - prev.Stored,
+		LoadErrors:  s.LoadErrors - prev.LoadErrors,
+		StoreErrors: s.StoreErrors - prev.StoreErrors,
+	}
+}
+
+// Add returns the field-wise sum of two snapshots (the inverse of Minus),
+// for aggregating phase deltas.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MemoryHits:  s.MemoryHits + o.MemoryHits,
+		DiskHits:    s.DiskHits + o.DiskHits,
+		Deduped:     s.Deduped + o.Deduped,
+		Simulated:   s.Simulated + o.Simulated,
+		Stored:      s.Stored + o.Stored,
+		LoadErrors:  s.LoadErrors + o.LoadErrors,
+		StoreErrors: s.StoreErrors + o.StoreErrors,
+	}
+}
+
 // String renders the stats as a one-line summary for CLI output.  The
 // "N simulated" clause is the warm-cache acceptance signal: a fully warm
 // campaign reports "0 simulated".

@@ -226,6 +226,35 @@ func XSwitchTable(r experiments.XSwitchResult) Table {
 	return t
 }
 
+// SchedTable renders the scheduler campaign: one row per fabric scenario and
+// placement policy with the schedule's headline metrics.
+func SchedTable(r experiments.SchedResult) Table {
+	t := Table{
+		Title: fmt.Sprintf("Scheduler campaign: %d streams x %d jobs over {%s} placed by each policy",
+			r.Spec.Streams, r.Spec.Jobs, strings.Join(r.Spec.Apps, ", ")),
+		Headers: []string{
+			"scenario", "oversub", "policy", "jobs", "makespan_ms", "mean_stretch",
+			"p95_stretch", "mean_wait_ms", "colocations", "deferrals", "mean_util_pct",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario,
+			f2(row.Oversubscription),
+			row.Policy,
+			fmt.Sprintf("%d", row.Jobs),
+			fmt.Sprintf("%.3f", row.MakespanSec*1e3),
+			fmt.Sprintf("%.3f", row.MeanStretch),
+			fmt.Sprintf("%.3f", row.P95Stretch),
+			fmt.Sprintf("%.3f", row.MeanWaitSec*1e3),
+			fmt.Sprintf("%d", row.Colocations),
+			fmt.Sprintf("%d", row.Deferrals),
+			f1(row.MeanUtilizationPct),
+		})
+	}
+	return t
+}
+
 // Summary renders a one-paragraph comparison against the paper's headline
 // claims, used by the CLI after fig9.
 func Summary(r experiments.Fig9Result) string {

@@ -191,3 +191,42 @@ func TestAppNames(t *testing.T) {
 		t.Fatal("unexpected app ordering")
 	}
 }
+
+func TestSchedTable(t *testing.T) {
+	r := experiments.SchedResult{
+		Spec:      experiments.SchedSpec{Jobs: 4, Streams: 2, Apps: []string{"FFTW", "MCB"}},
+		Scenarios: []string{"star"},
+		Policies:  []string{"pack", "predictor"},
+		Rows: []experiments.SchedPolicyRow{
+			{
+				Scenario: "star", Oversubscription: 1, Policy: "pack",
+				Jobs: 8, MakespanSec: 0.25, MeanStretch: 1.25, P95Stretch: 2.5,
+				MeanWaitSec: 0.01, Colocations: 3, Deferrals: 0, MeanUtilizationPct: 70,
+			},
+			{
+				Scenario: "star", Oversubscription: 1, Policy: "predictor",
+				Jobs: 8, MakespanSec: 0.2, MeanStretch: 1.125, P95Stretch: 2,
+				MeanWaitSec: 0.005, Colocations: 2, Deferrals: 1, MeanUtilizationPct: 65,
+			},
+		},
+	}
+	tbl := SchedTable(r)
+	text := tbl.Render()
+	if !strings.Contains(text, "2 streams x 4 jobs") || !strings.Contains(text, "FFTW, MCB") {
+		t.Fatalf("title wrong:\n%s", text)
+	}
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != len(tbl.Headers) {
+		t.Fatalf("table shape %dx%d vs %d headers", len(tbl.Rows), len(tbl.Rows[0]), len(tbl.Headers))
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "star,1.00,pack,8,250.000,1.250,2.500,10.000,3,0,70.0") {
+		t.Fatalf("csv row = %s", lines[1])
+	}
+}

@@ -1,0 +1,315 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/core"
+	"github.com/hpcperf/switchprobe/internal/engine"
+	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/netsim"
+	"github.com/hpcperf/switchprobe/internal/workload"
+)
+
+// Oracle resolves everything the scheduler model needs to know about
+// workloads: calibrated solo durations, measured pairwise co-run slowdowns
+// for the two contention-domain classes, and the signatures/profiles the
+// predictor-guided policy scores with.  Implementations must be
+// deterministic: the same query always returns the same value within a run.
+type Oracle interface {
+	// SoloIterationSec is the workload's solo per-iteration time (seconds)
+	// alone in its slot — the calibrated service-demand unit.
+	SoloIterationSec(app string) (float64, error)
+	// SharedSlowdownPct is the percentage slowdown target suffers while
+	// co-resident with corunner in the same contention domain (leaf).
+	SharedSlowdownPct(target, corunner string) (float64, error)
+	// DisjointSlowdownPct is the slowdown across disjoint domains
+	// (different leaves).
+	DisjointSlowdownPct(target, corunner string) (float64, error)
+	// UtilizationPct is the workload's solo switch utilization, used for the
+	// campaign's utilization timeline.
+	UtilizationPct(app string) (float64, error)
+	// Signature is the workload's impact signature (co-runner view).
+	Signature(app string) (core.Signature, error)
+	// Profile is the workload's compression profile (target view).
+	Profile(app string) (core.Profile, error)
+	// Contended reports whether co-resident jobs share a fabric bottleneck.
+	// The paper's predictors model contention on a shared switch queue;
+	// slot-exclusive jobs on a non-blocking fabric have dedicated ports and
+	// no such queue, so predictions only engage when this is true
+	// (oversubscribed trunks between the contention domains).
+	Contended() bool
+}
+
+// EngineOracle serves every query from engine-backed core RunSpecs, so all
+// coefficients are content-addressed artifacts: a warm campaign resolves
+// them without executing a single simulation.
+//
+// The mapping from scheduler state to measured specs:
+//
+//   - solo duration       → baseline, SlotA, pack placement;
+//   - shared domain       → placed pair under spread placement (both jobs
+//     interleaved across every leaf, contending on the leaf switches and
+//     the spine trunks — the contended co-residency the paper measures);
+//   - disjoint domains    → placed pair under pack placement (jobs on
+//     disjoint leaves; near zero unless the jobs themselves span leaves);
+//   - signature / profile → SlotB impact and SlotA profile under spread
+//     placement, mirroring the xswitch campaign's predictor inputs.
+//
+// Each placed pair is measured once per unordered workload pair: the
+// first-named job takes SlotA, the second SlotB, and each direction's
+// degradation is judged against the matching slot baseline.
+//
+// Resolved coefficients are memoized: the scheduler's event loop asks for
+// the same O(apps²) values on every rate refresh, and the memo answers them
+// with a map lookup instead of re-hashing RunSpecs through the engine.
+// All methods are safe for concurrent use (the campaign prefetch fans out
+// across workers).
+type EngineOracle struct {
+	eng  *engine.Engine
+	opts core.Options
+	grid []inject.Config
+
+	mu       sync.Mutex
+	iterSec  map[string]float64
+	pairPct  map[string]float64
+	sigs     map[string]core.Signature
+	profiles map[string]core.Profile
+
+	lookups atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewEngineOracle builds an oracle over the engine for the scenario options
+// (whose topology and seed select the fabric every coefficient is measured
+// on).  grid is the injector grid predictor profiles are built over.
+func NewEngineOracle(eng *engine.Engine, opts core.Options, grid []inject.Config) *EngineOracle {
+	return &EngineOracle{
+		eng:      eng,
+		opts:     opts,
+		grid:     grid,
+		iterSec:  make(map[string]float64),
+		pairPct:  make(map[string]float64),
+		sigs:     make(map[string]core.Signature),
+		profiles: make(map[string]core.Profile),
+	}
+}
+
+// Stats returns how many coefficient queries the oracle served and how many
+// had to resolve through the engine (every other query was answered by the
+// memo).
+func (eo *EngineOracle) Stats() (lookups, misses int64) {
+	return eo.lookups.Load(), eo.misses.Load()
+}
+
+// memoized serves one coefficient through the memo: a hit is a map lookup,
+// a miss resolves through the engine outside the lock (concurrent identical
+// misses are deduplicated by the engine's singleflight) and is stored for
+// every later query.
+func memoized[V any](eo *EngineOracle, memo map[string]V, key string, resolve func() (V, error)) (V, error) {
+	eo.lookups.Add(1)
+	eo.mu.Lock()
+	if v, ok := memo[key]; ok {
+		eo.mu.Unlock()
+		return v, nil
+	}
+	eo.mu.Unlock()
+	eo.misses.Add(1)
+	v, err := resolve()
+	if err != nil {
+		return v, err
+	}
+	eo.mu.Lock()
+	memo[key] = v
+	eo.mu.Unlock()
+	return v, nil
+}
+
+// placed returns the options with the given placement policy.
+func (eo *EngineOracle) placed(p cluster.PlacementPolicy) core.Options {
+	o := eo.opts
+	o.Placement = p
+	return o
+}
+
+func (eo *EngineOracle) app(name string) (workload.App, error) {
+	return workload.ByName(name, eo.opts.Scale)
+}
+
+// SoloIterationSec implements Oracle.
+func (eo *EngineOracle) SoloIterationSec(app string) (float64, error) {
+	return memoized(eo, eo.iterSec, app, func() (float64, error) {
+		a, err := eo.app(app)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := eo.eng.Baseline(eo.placed(cluster.PlacePack), a, core.SlotA)
+		if err != nil {
+			return 0, err
+		}
+		return rt.TimePerIteration.Seconds(), nil
+	})
+}
+
+// SharedSlowdownPct implements Oracle.
+func (eo *EngineOracle) SharedSlowdownPct(target, corunner string) (float64, error) {
+	return eo.pairSlowdown(target, corunner, cluster.PlaceSpread)
+}
+
+// DisjointSlowdownPct implements Oracle.
+func (eo *EngineOracle) DisjointSlowdownPct(target, corunner string) (float64, error) {
+	return eo.pairSlowdown(target, corunner, cluster.PlacePack)
+}
+
+// pairSlowdown resolves the target's degradation next to corunner under the
+// given placement from one unordered placed-pair measurement plus the
+// target's slot baseline.
+func (eo *EngineOracle) pairSlowdown(target, corunner string, policy cluster.PlacementPolicy) (float64, error) {
+	key := string(policy) + "|" + target + "|" + corunner
+	return memoized(eo, eo.pairPct, key, func() (float64, error) {
+		return eo.resolvePairSlowdown(target, corunner, policy)
+	})
+}
+
+// resolvePairSlowdown is the uncached spec resolution behind pairSlowdown.
+func (eo *EngineOracle) resolvePairSlowdown(target, corunner string, policy cluster.PlacementPolicy) (float64, error) {
+	first, second := target, corunner
+	if second < first {
+		first, second = second, first
+	}
+	a, err := eo.app(first)
+	if err != nil {
+		return 0, err
+	}
+	b, err := eo.app(second)
+	if err != nil {
+		return 0, err
+	}
+	o := eo.placed(policy)
+	ra, rb, err := eo.eng.Pair(o, a, b, true)
+	if err != nil {
+		return 0, err
+	}
+	observed, slot := ra, core.SlotA
+	if target != first {
+		observed, slot = rb, core.SlotB
+	}
+	targetApp, err := eo.app(target)
+	if err != nil {
+		return 0, err
+	}
+	base, err := eo.eng.Baseline(o, targetApp, slot)
+	if err != nil {
+		return 0, err
+	}
+	return core.DegradationPercent(base, observed), nil
+}
+
+// Contended implements Oracle: a fat-tree with oversubscribed trunks is the
+// only fabric where slot-exclusive jobs share a bottleneck.
+func (eo *EngineOracle) Contended() bool {
+	ft, ok := eo.opts.Machine.Net.Topology.(netsim.FatTree)
+	return ok && ft.Oversubscription(eo.opts.Machine.Nodes()) > 1
+}
+
+// UtilizationPct implements Oracle.
+func (eo *EngineOracle) UtilizationPct(app string) (float64, error) {
+	sig, err := eo.Signature(app)
+	if err != nil {
+		return 0, err
+	}
+	return sig.UtilizationPct, nil
+}
+
+// Signature implements Oracle.
+func (eo *EngineOracle) Signature(app string) (core.Signature, error) {
+	return memoized(eo, eo.sigs, app, func() (core.Signature, error) {
+		a, err := eo.app(app)
+		if err != nil {
+			return core.Signature{}, err
+		}
+		return eo.eng.AppImpact(eo.placed(cluster.PlaceSpread), a, core.SlotB)
+	})
+}
+
+// Profile implements Oracle.
+func (eo *EngineOracle) Profile(app string) (core.Profile, error) {
+	return memoized(eo, eo.profiles, app, func() (core.Profile, error) {
+		a, err := eo.app(app)
+		if err != nil {
+			return core.Profile{}, err
+		}
+		return eo.eng.BuildProfile(eo.placed(cluster.PlaceSpread), a, eo.grid, core.SlotA)
+	})
+}
+
+// StaticOracle is a fixed-coefficient oracle for tests and what-if
+// exploration: every query is a map lookup.
+type StaticOracle struct {
+	// IterSec maps workload → solo per-iteration seconds.
+	IterSec map[string]float64
+	// Shared and Disjoint map "target|corunner" → slowdown percent (see
+	// PairKey).  Missing disjoint entries default to zero.
+	Shared, Disjoint map[string]float64
+	// Util maps workload → solo switch utilization percent.
+	Util map[string]float64
+	// Sigs and Profiles back the predictor-guided policy; optional for
+	// blind policies.
+	Sigs     map[string]core.Signature
+	Profiles map[string]core.Profile
+	// ContendedFabric marks the fabric as having a shared bottleneck
+	// between contention domains (see Oracle.Contended).
+	ContendedFabric bool
+}
+
+// PairKey is the Shared/Disjoint map key for a target/co-runner pair.
+func PairKey(target, corunner string) string { return target + "|" + corunner }
+
+// SoloIterationSec implements Oracle.
+func (s *StaticOracle) SoloIterationSec(app string) (float64, error) {
+	v, ok := s.IterSec[app]
+	if !ok {
+		return 0, fmt.Errorf("sched: no solo iteration time for %q", app)
+	}
+	return v, nil
+}
+
+// SharedSlowdownPct implements Oracle.
+func (s *StaticOracle) SharedSlowdownPct(target, corunner string) (float64, error) {
+	v, ok := s.Shared[PairKey(target, corunner)]
+	if !ok {
+		return 0, fmt.Errorf("sched: no shared slowdown for %q next to %q", target, corunner)
+	}
+	return v, nil
+}
+
+// DisjointSlowdownPct implements Oracle.
+func (s *StaticOracle) DisjointSlowdownPct(target, corunner string) (float64, error) {
+	return s.Disjoint[PairKey(target, corunner)], nil
+}
+
+// UtilizationPct implements Oracle.
+func (s *StaticOracle) UtilizationPct(app string) (float64, error) { return s.Util[app], nil }
+
+// Contended implements Oracle.
+func (s *StaticOracle) Contended() bool { return s.ContendedFabric }
+
+// Signature implements Oracle.
+func (s *StaticOracle) Signature(app string) (core.Signature, error) {
+	sig, ok := s.Sigs[app]
+	if !ok {
+		return core.Signature{}, fmt.Errorf("sched: no signature for %q", app)
+	}
+	return sig, nil
+}
+
+// Profile implements Oracle.
+func (s *StaticOracle) Profile(app string) (core.Profile, error) {
+	p, ok := s.Profiles[app]
+	if !ok {
+		return core.Profile{}, fmt.Errorf("sched: no profile for %q", app)
+	}
+	return p, nil
+}

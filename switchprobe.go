@@ -17,8 +17,12 @@
 //   - the four slowdown predictors (AverageLT, AverageStDevLT, PDFLT,
 //     Queue),
 //   - six HPC application skeletons (AMG, FFTW, Lulesh, MCB, MILC, VPFFT),
-//   - and an experiment harness regenerating every table and figure of the
-//     paper's evaluation.
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation,
+//   - and a contention-aware cluster scheduler simulator that closes the
+//     paper's loop: job streams are placed over the fabric's contention
+//     domains by pluggable policies, with the predictor-guided policy
+//     scoring candidate placements before committing them.
 //
 // This file is the public facade: it re-exports the library's primary types
 // and entry points so downstream users never import internal packages
@@ -38,6 +42,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/probe"
 	"github.com/hpcperf/switchprobe/internal/queuing"
 	"github.com/hpcperf/switchprobe/internal/report"
+	"github.com/hpcperf/switchprobe/internal/sched"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
 
@@ -350,6 +355,66 @@ type (
 	XSwitchResult = experiments.XSwitchResult
 )
 
+// --- contention-aware scheduling ---------------------------------------------
+
+// SchedJob is one job of a scheduler arrival stream.
+type SchedJob = sched.JobSpec
+
+// SchedArrivals deterministically generates a job stream from a seed.
+type SchedArrivals = sched.ArrivalSpec
+
+// SchedPolicy decides where each arriving job is placed; implementations
+// include FirstFit, Pack, Spread, Random and the predictor-in-the-loop
+// PredictorGuided.
+type SchedPolicy = sched.Policy
+
+// SchedOracle resolves the scheduler model's measured coefficients (solo
+// durations, placed co-run slowdowns, signatures and profiles).
+type SchedOracle = sched.Oracle
+
+// SchedulerConfig describes one scheduler simulation run.
+type SchedulerConfig = sched.Config
+
+// SchedulerResult is one policy's schedule with its summary metrics,
+// decision log and utilization timeline.
+type SchedulerResult = sched.Result
+
+// RunScheduler executes one deterministic scheduler simulation.
+func RunScheduler(cfg SchedulerConfig) (SchedulerResult, error) { return sched.Run(cfg) }
+
+// SchedPolicyNames returns every placement policy name in canonical order.
+func SchedPolicyNames() []string { return sched.PolicyNames() }
+
+// NewSchedPolicy builds a placement policy by name; the predictor policy
+// scores candidates with pred over the oracle's signatures and profiles.
+func NewSchedPolicy(name string, seed int64, pred Predictor, oracle SchedOracle) (SchedPolicy, error) {
+	return sched.NewPolicy(name, seed, pred, oracle)
+}
+
+// NewSchedOracle builds the engine-backed oracle: every coefficient it
+// serves is a cached core RunSpec measured on the options' fabric.
+func NewSchedOracle(eng *Engine, o Options, grid []InjectorConfig) SchedOracle {
+	return sched.NewEngineOracle(eng, o, grid)
+}
+
+// SchedSpec parameterizes the Suite.Sched scheduler campaign.
+type SchedSpec = experiments.SchedSpec
+
+// SchedScenario is one fabric the scheduler campaign runs on.
+type SchedScenario = experiments.SchedScenario
+
+// SchedCampaignResult is the full scheduler campaign (scenario × policy).
+type SchedCampaignResult = experiments.SchedResult
+
+// DefaultSchedScenarios returns the standard fabric set for a node count:
+// star plus non-blocking and oversubscribed fat-trees.
+func DefaultSchedScenarios(nodes int) []SchedScenario {
+	return experiments.DefaultSchedScenarios(nodes)
+}
+
+// SchedSummary renders the campaign's per-scenario policy comparison.
+func SchedSummary(r SchedCampaignResult) string { return experiments.SchedSummary(r) }
+
 // ResultTable is a rendered result: aligned text via Render, CSV via
 // WriteCSV.
 type ResultTable = report.Table
@@ -362,3 +427,6 @@ func RenderTable1(r Table1Result) ResultTable   { return report.Table1Table(r) }
 func RenderFig8(r Fig8Result) ResultTable       { return report.Fig8Table(r) }
 func RenderFig9(r Fig9Result) ResultTable       { return report.Fig9Table(r) }
 func RenderXSwitch(r XSwitchResult) ResultTable { return report.XSwitchTable(r) }
+
+// RenderSched renders the scheduler campaign table.
+func RenderSched(r SchedCampaignResult) ResultTable { return report.SchedTable(r) }
