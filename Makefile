@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/sim/ ./internal/netsim/ ./internal/mpisim/
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -22,9 +22,10 @@ fmt:
 
 # Quick human-readable benchmark pass at the CI scale.
 bench:
-	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns|SchedCampaign' -benchtime 1x .
+	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|SchedCampaign|BulkTraffic' -benchtime 1x ./...
 
 # Machine-readable benchmark record: runs the headline cold-path benchmarks
-# and writes BENCH_PR5.json (name -> ns/op, events fired/elided, events/s).
+# (including the relaxed-vs-strict Table 1 A/B pair) and writes
+# BENCH_PR6.json (name -> ns/op, events fired/elided, events/s).
 bench-json:
-	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR6.json

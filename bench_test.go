@@ -147,6 +147,29 @@ func BenchmarkTable1PairSlowdowns(b *testing.B) {
 	reportSimMetrics(b)
 }
 
+// BenchmarkTable1StrictOrder runs the identical cold Table 1 campaign under
+// the strict golden-oracle event ordering (Config.StrictOrder).  Paired with
+// BenchmarkTable1PairSlowdowns — which runs the relaxed engine, the default
+// since ModelVersion 3 — it records the relaxed mode's speedup in the
+// BENCH_PR6.json record, and CI's bench-smoke job gates on relaxed staying
+// faster than strict.
+func BenchmarkTable1StrictOrder(b *testing.B) {
+	experiments.ResetSimUsage()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.MustNewConfig(benchPreset(), 1)
+		cfg.Options.Machine.Net.StrictOrder = true
+		s := experiments.NewSuite(cfg)
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.SlowdownPct[0][0], "fftw_self_pct")
+		}
+	}
+	reportSimMetrics(b)
+}
+
 // BenchmarkSchedCampaign runs the contention-aware scheduler campaign on the
 // headline oversubscribed fat-tree scenario: measuring the coefficient
 // library (solo baselines, placed co-run pairs, signatures, predictor

@@ -1,6 +1,6 @@
 // Command benchjson runs the repository's Go benchmarks and writes the
 // results as machine-readable JSON, so the performance trajectory of the
-// simulator is tracked in-repo (BENCH_PR5.json, and its predecessors per
+// simulator is tracked in-repo (BENCH_PR6.json, and its predecessors per
 // PR) instead of in commit messages.
 //
 // Usage:
@@ -8,7 +8,7 @@
 //	benchjson [-bench REGEX] [-preset ci|default|paper] [-benchtime 1x]
 //	          [-count N] [-out FILE]
 //
-// It shells out to `go test -bench` in the repository root (so the numbers
+// It shells out to `go test -bench ./...` in the repository (so the numbers
 // are exactly what a developer reproduces by hand), parses the standard
 // benchmark output format including custom b.ReportMetric columns (the
 // headline benchmarks report events_fired/op, events_elided/op and
@@ -49,7 +49,7 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR5.json.
+// Report is the file layout of BENCH_PR6.json.
 type Report struct {
 	Preset     string                 `json:"preset"`
 	Go         string                 `json:"go"`
@@ -57,11 +57,11 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|SchedCampaign", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|SchedCampaign|BulkTraffic", "benchmark regexp passed to go test -bench")
 	preset := flag.String("preset", "ci", "SWITCHPROBE_BENCH_PRESET for the run (ci, default or paper)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value; the minimum ns/op across repetitions is reported")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON file")
 	flag.Parse()
 
 	report, err := run(*bench, *preset, *benchtime, *count)
@@ -84,7 +84,7 @@ func main() {
 
 func run(bench, preset, benchtime string, count int) (*Report, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime,
-		"-count", strconv.Itoa(count), "-timeout", "60m", "."}
+		"-count", strconv.Itoa(count), "-timeout", "60m", "./..."}
 	cmd := exec.Command("go", args...)
 	cmd.Env = append(os.Environ(), "SWITCHPROBE_BENCH_PRESET="+preset)
 	outb, err := cmd.CombinedOutput()

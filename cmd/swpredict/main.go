@@ -7,6 +7,7 @@
 //	swpredict -target FFTW -corunner Lulesh [-preset ci|default|paper]
 //	          [-seed N] [-validate] [-topology star|fattree] [-leaves N]
 //	          [-uplinks N] [-placement pack|spread|random]
+//	          [-workers N] [-strict-order]
 //	          [-cache-dir DIR] [-no-cache]
 //
 // With -cache-dir, measurement artifacts are served from (and persisted to)
@@ -49,14 +50,26 @@ func run(args []string) error {
 	placement := fs.String("placement", "pack", "application placement across leaves: pack, spread or random")
 	cacheDir := fs.String("cache-dir", "", "directory of the persistent artifact cache (empty = in-memory only)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
+	workers := fs.Int("workers", 0, "relaxed mode: worker goroutines for leaf-parallel advance windows (0/1 = sequential; the schedule is identical for every value)")
+	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *strictOrder && *workers > 1 {
+		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
 	}
 
 	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
 	if err != nil {
 		return err
 	}
+	if *strictOrder {
+		cfg.Options.Machine.Net.StrictOrder = true
+	}
+	cfg.Options.Machine.Net.Workers = *workers
 	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
 	if err != nil {
 		return err

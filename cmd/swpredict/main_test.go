@@ -22,3 +22,12 @@ func TestRunRejectsUnknownApplications(t *testing.T) {
 		t.Fatal("expected error for unknown co-runner")
 	}
 }
+
+func TestRunValidatesExecutionFlags(t *testing.T) {
+	if err := run([]string{"-preset", "ci", "-workers", "-2"}); err == nil {
+		t.Fatal("expected error for negative -workers")
+	}
+	if err := run([]string{"-preset", "ci", "-workers", "2", "-strict-order"}); err == nil {
+		t.Fatal("expected error for -workers combined with -strict-order")
+	}
+}

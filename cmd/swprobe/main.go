@@ -6,6 +6,7 @@
 //
 //	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch|sched [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
+//	        [-workers N] [-strict-order]
 //	        [-cache-dir DIR] [-no-cache]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
@@ -19,6 +20,12 @@
 // The topology flags select the simulated fabric for every experiment; the
 // xswitch campaign additionally sweeps the fat-tree's oversubscription and
 // compares packed vs. spread placement.
+//
+// -workers lets the relaxed engine execute independent leaf domains on that
+// many goroutines; the simulated schedule is byte-identical for every value,
+// so the flag is pure wall-clock. -strict-order instead selects the strict
+// golden-oracle event ordering (slower, byte-identical to pre-relaxed
+// releases); it changes run fingerprints and therefore cache keys.
 //
 // The sched campaign streams a job arrival process through the
 // contention-aware scheduler simulator on star + fat-tree fabrics and
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/netsim"
@@ -84,8 +92,16 @@ func run(args []string, out *os.File) error {
 	policies := fs.String("policy", "all", "sched: comma-separated placement policies or all ("+strings.Join(sched.PolicyNames(), ", ")+")")
 	jobs := fs.Int("jobs", 0, "sched: arrival-stream length (0 = campaign default)")
 	arrivals := fs.Float64("arrivals", 0, "sched: mean job inter-arrival gap in virtual ms (0 = derive from load)")
+	workers := fs.Int("workers", 0, "relaxed mode: worker goroutines for leaf-parallel advance windows (0/1 = sequential; the schedule is identical for every value)")
+	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *strictOrder && *workers > 1 {
+		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
 	}
 
 	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
@@ -93,6 +109,10 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	cfg.Parallelism = *parallel
+	if *strictOrder {
+		cfg.Options.Machine.Net.StrictOrder = true
+	}
+	cfg.Options.Machine.Net.Workers = *workers
 	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
 	if err != nil {
 		return err

@@ -246,3 +246,49 @@ func TestRunSchedEndToEnd(t *testing.T) {
 		t.Fatalf("sched CSV not written: %v", err)
 	}
 }
+
+func TestRunValidatesExecutionFlags(t *testing.T) {
+	err := run([]string{"-preset", "ci", "-exp", "fig3", "-workers", "-1"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers should be rejected upfront: %v", err)
+	}
+	err = run([]string{"-preset", "ci", "-exp", "fig3", "-workers", "4", "-strict-order"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "strict-order") {
+		t.Fatalf("-workers with -strict-order should be rejected upfront: %v", err)
+	}
+}
+
+// TestRunWorkersByteIdenticalCLI runs the same campaign sequentially and with
+// leaf-parallel workers and requires byte-identical CSV output: Workers is
+// pure wall-clock, never a model input.
+func TestRunWorkersByteIdenticalCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs are slow; skipped in -short mode")
+	}
+	runCSV := func(extra ...string) string {
+		t.Helper()
+		out, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		csvDir := t.TempDir()
+		args := append([]string{
+			"-preset", "ci", "-exp", "fig6", "-seed", "7",
+			"-topology", "fattree", "-leaves", "3", "-csv", csvDir,
+		}, extra...)
+		if err := run(args, out); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(filepath.Join(csvDir, "fig6.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	seq := runCSV("-workers", "0")
+	par := runCSV("-workers", "4")
+	if seq != par {
+		t.Fatalf("-workers changed the simulated output:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}

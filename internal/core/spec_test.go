@@ -63,7 +63,7 @@ func TestSpecCanonicalGolden(t *testing.T) {
 	golden := strings.Join([]string{
 		"kind=calibrate",
 		"seed=42",
-		"machine=net{nodes=4;bw=5e+09;mtu=4096;wire=250;fabric=200;jitter=120;tailp=0.02;taild=2000;ebuf=16384;topo=star};sockets=2;cores=8;clock=2.6e+09;ilat=600;ibw=8e+09",
+		"machine=net{nodes=4;bw=5e+09;mtu=4096;wire=250;fabric=200;jitter=120;tailp=0.02;taild=2000;ebuf=16384;topo=star;order=relaxed};sockets=2;cores=8;clock=2.6e+09;ilat=600;ibw=8e+09",
 		"mpi=eager:16384,control:64",
 		"probe=bytes:1024,pause:200000,rps:1,tag:1",
 		"placement=pack",

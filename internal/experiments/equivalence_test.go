@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/sched"
+)
+
+// Statistical-equivalence gates: the schedule-relaxed execution mode
+// (netsim relaxed, the default since ModelVersion 3) is deterministic per
+// seed but intentionally NOT byte-identical to the strict golden oracle.
+// Its contract is distributional, and these tests are that contract: each
+// paper experiment is run once relaxed and once strict at CI scale, and the
+// results must agree within declared tolerances.
+//
+// Tolerance rationale: at CI scale a single seed's strict-vs-strict
+// seed-to-seed spread on Table 1 entries is already several percentage
+// points (the measurement windows hold few iterations), so the gates bound
+// gross model drift — an ordering bug, a lost stall, a broken credit ledger
+// — not sampling noise.  Sub-point agreement would require averaging many
+// seeds, which CI cannot afford; the declared bands below were set at
+// roughly twice the observed relaxed-vs-strict gap so noise does not flake
+// the suite while a real model regression (typically tens of points or an
+// inverted ordering) still fails it.
+
+// equivTable1Tol returns the allowed gap for one Table 1 slowdown entry
+// (percent): 4 points absolute or 40% of the oracle value, whichever is
+// larger.  The relative band is wide because the heavy-contention pairs
+// (both apps communication-bound, slowdowns of 35–70 points) are the
+// entries most sensitive to arbitration microstructure: at CI scale a
+// single seed's relaxed-vs-strict gap on them measures 13–35% relative.
+// The paper-meaningful invariant — which pairs interfere at all — is
+// gated separately and much more tightly by the classification check.
+func equivTable1Tol(strict float64) float64 {
+	return math.Max(4.0, 0.40*math.Abs(strict))
+}
+
+// table1Class buckets a slowdown entry into the paper's qualitative
+// classes: negligible (<10 points), moderate, heavy (>25 points).
+func table1Class(pct float64) int {
+	switch {
+	case pct < 10:
+		return 0
+	case pct < 25:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// cdfGapPct returns the maximum CDF gap (0..1) between two binned
+// distributions given as per-bin percentages on a shared binning.
+func cdfGapPct(a, b []float64) float64 {
+	var ca, cb, gap float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ca += a[i] / 100
+		cb += b[i] / 100
+		if g := math.Abs(ca - cb); g > gap {
+			gap = g
+		}
+	}
+	return gap
+}
+
+func equivalenceSuites(t *testing.T) (relaxed, strict *Suite) {
+	t.Helper()
+	r := MustNewConfig(PresetCI, 1)
+	r.Options.Machine.Net.StrictOrder = false
+	s := MustNewConfig(PresetCI, 1)
+	s.Options.Machine.Net.StrictOrder = true
+	return NewSuite(r), NewSuite(s)
+}
+
+func TestRelaxedStrictEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every CI-scale experiment twice; skipped in -short")
+	}
+	relaxed, strict := equivalenceSuites(t)
+
+	t.Run("fig3", func(t *testing.T) {
+		rr, err := relaxed.Fig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := strict.Fig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range sr.Columns {
+			gap := cdfGapPct(rr.FrequencyPct[col], sr.FrequencyPct[col])
+			t.Logf("fig3 %-12s cdf-gap=%.4f mean relaxed=%.3fµs strict=%.3fµs",
+				col, gap, rr.MeanMicros[col], sr.MeanMicros[col])
+			// The probe latency histogram is the paper's core observable;
+			// 0.20 is ~2x the worst measured relaxed-vs-strict gap at CI
+			// scale (0.09–0.15 on the loaded columns, single shared seed),
+			// and well under the 0.27–0.42 regime that express/shadow
+			// regressions produce.
+			if gap > 0.20 {
+				t.Errorf("fig3 %s: latency CDF gap %.4f exceeds 0.20", col, gap)
+			}
+			rm, sm := rr.MeanMicros[col], sr.MeanMicros[col]
+			if diff := math.Abs(rm - sm); diff > math.Max(0.6, 0.12*sm) {
+				t.Errorf("fig3 %s: mean latency %.3fµs vs %.3fµs diverges", col, rm, sm)
+			}
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		rr, err := relaxed.Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := strict.Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, target := range sr.Apps {
+			for j, co := range sr.Apps {
+				rv, sv := rr.SlowdownPct[i][j], sr.SlowdownPct[i][j]
+				tol := equivTable1Tol(sv)
+				t.Logf("table1 %s+%s relaxed=%.2f strict=%.2f tol=%.2f", target, co, rv, sv, tol)
+				if math.Abs(rv-sv) > tol {
+					t.Errorf("table1 %s+%s: relaxed %.2f vs strict %.2f exceeds ±%.2f",
+						target, co, rv, sv, tol)
+				}
+				// The classification gate is the tight one: relaxed and strict
+				// must agree on whether a pairing interferes negligibly,
+				// moderately or heavily (adjacent classes allowed only when the
+				// strict value sits within 5 points of the boundary).
+				if rc, sc := table1Class(rv), table1Class(sv); rc != sc {
+					boundary := math.Min(math.Abs(sv-10), math.Abs(sv-25))
+					if boundary > 5 || rc-sc > 1 || sc-rc > 1 {
+						t.Errorf("table1 %s+%s: contention class %d (relaxed %.2f) vs %d (strict %.2f)",
+							target, co, rc, rv, sc, sv)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("xswitch", func(t *testing.T) {
+		rr, err := relaxed.XSwitch("FFTW", "VPFFT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := strict.XSwitch("FFTW", "VPFFT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Points) != len(sr.Points) {
+			t.Fatalf("point count differs: %d vs %d", len(rr.Points), len(sr.Points))
+		}
+		for i, sp := range sr.Points {
+			rp := rr.Points[i]
+			if rp.Uplinks != sp.Uplinks || rp.Placement != sp.Placement {
+				t.Fatalf("point %d identity differs: %+v vs %+v", i, rp, sp)
+			}
+			// 35% relative: the saturated single-uplink spread point is the
+			// worst case (relaxed under-reads trunk-induced degradation by
+			// ~30% relative at CI scale); the gate still catches inverted
+			// placement orderings and lost-contention regressions, and the
+			// pack-vs-spread ordering is asserted separately below.
+			tol := math.Max(5.0, 0.35*math.Abs(sp.MeasuredPct))
+			t.Logf("xswitch u=%d %-7s relaxed=%.2f strict=%.2f tol=%.2f",
+				sp.Uplinks, sp.Placement, rp.MeasuredPct, sp.MeasuredPct, tol)
+			if math.Abs(rp.MeasuredPct-sp.MeasuredPct) > tol {
+				t.Errorf("xswitch uplinks=%d placement=%s: degradation %.2f vs %.2f exceeds ±%.2f",
+					sp.Uplinks, sp.Placement, rp.MeasuredPct, sp.MeasuredPct, tol)
+			}
+		}
+		// Ordering invariant: wherever the strict oracle separates the two
+		// placements by a clear margin, relaxed must reproduce the direction
+		// of the paper's conclusion (spread placements hurt more than packed
+		// ones at low uplink counts).
+		byKey := func(pts []XSwitchPoint) map[int]map[string]float64 {
+			m := map[int]map[string]float64{}
+			for _, p := range pts {
+				if m[p.Uplinks] == nil {
+					m[p.Uplinks] = map[string]float64{}
+				}
+				m[p.Uplinks][string(p.Placement)] = p.MeasuredPct
+			}
+			return m
+		}
+		rm, sm := byKey(rr.Points), byKey(sr.Points)
+		for u, sv := range sm {
+			if len(sv) != 2 {
+				continue
+			}
+			if math.Abs(sv["spread"]-sv["pack"]) < 10 {
+				continue // strict itself sees no clear separation here
+			}
+			strictSpreadWorse := sv["spread"] > sv["pack"]
+			relaxedSpreadWorse := rm[u]["spread"] > rm[u]["pack"]
+			if strictSpreadWorse != relaxedSpreadWorse {
+				t.Errorf("xswitch uplinks=%d: placement ordering inverted (relaxed spread=%.2f pack=%.2f, strict spread=%.2f pack=%.2f)",
+					u, rm[u]["spread"], rm[u]["pack"], sv["spread"], sv["pack"])
+			}
+		}
+	})
+
+	t.Run("sched", func(t *testing.T) {
+		spec := SchedSpec{Jobs: 8, Streams: 2, Policies: sched.PolicyNames()}
+		rr, err := relaxed.Sched(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := strict.Sched(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range sr.Rows {
+			rv, ok := rr.MeanStretch(row.Scenario, row.Policy)
+			if !ok {
+				t.Errorf("sched %s/%s missing from relaxed result", row.Scenario, row.Policy)
+				continue
+			}
+			sv, _ := sr.MeanStretch(row.Scenario, row.Policy)
+			tol := math.Max(0.08, 0.12*sv)
+			t.Logf("sched %-10s %-9s relaxed=%.3f strict=%.3f tol=%.3f",
+				row.Scenario, row.Policy, rv, sv, tol)
+			if math.Abs(rv-sv) > tol {
+				t.Errorf("sched %s/%s: mean stretch %.3f vs %.3f exceeds ±%.3f",
+					row.Scenario, row.Policy, rv, sv, tol)
+			}
+		}
+	})
+}

@@ -298,9 +298,10 @@ type Rank struct {
 	proc *sim.Proc
 
 	unexpected []envelope
-	// posted holds receives posted before their message arrived; the
-	// matching pattern lives on the Request itself.
-	posted []*Request
+	// posted holds receives posted before their message arrived.  The
+	// matching pattern is duplicated inline so the arrival scan walks a
+	// contiguous slice instead of dereferencing every Request.
+	posted []postedRecv
 
 	// wc is the rank's reusable completion-batch counter (see waitCounter).
 	wc waitCounter
@@ -420,8 +421,15 @@ func (r *Rank) Irecv(src, tag int) *Request {
 			return req
 		}
 	}
-	r.posted = append(r.posted, req)
+	r.posted = append(r.posted, postedRecv{src: src, tag: tag, req: req})
 	return req
+}
+
+// postedRecv is one pending posted receive: its matching pattern inline plus
+// the request it completes.
+type postedRecv struct {
+	src, tag int
+	req      *Request
 }
 
 // matches reports whether a posted (src, tag) pair matches an envelope.
@@ -470,10 +478,10 @@ func (w *World) arrive(env envelope) {
 	switch env.kind {
 	case kindEager, kindRTS:
 		dst := w.ranks[env.dst]
-		for i, req := range dst.posted {
-			if matches(req.src, req.tag, env) {
+		for i, pr := range dst.posted {
+			if matches(pr.src, pr.tag, env) {
 				dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
-				dst.acceptMatched(env, req)
+				dst.acceptMatched(env, pr.req)
 				return
 			}
 		}

@@ -43,11 +43,20 @@ import (
 
 // laneEvent kinds name the pipeline stage a deferred event re-enters; the
 // drain loop dispatches on the kind, so entries carry no function pointer.
+// The first four belong to the strict pipeline; the laneRelaxed* kinds are
+// the only deferred work the relaxed mode (relaxed.go) schedules: the shared
+// parked-NIC advance, user-visible deliveries, per-message completions, and
+// port waiter wakes.
 const (
 	laneUplinkDone uint8 = iota
 	laneArrive
 	lanePortDone
 	laneDeliver
+	laneRelaxedAdvance
+	laneRelaxedDeliver
+	laneRelaxedComplete
+	laneRelaxedPortWake
+	laneRelaxedBatch
 )
 
 // The lane packs an entry's (time, seq) key into one uint64 — timestamp in
@@ -80,10 +89,13 @@ func laneKey(at sim.Time, seq uint64) uint64 {
 
 // laneEvent is one deferred pipeline event: a 24-byte value with a
 // single-word ordering key, so heap sifts are one compare and a small move.
+// aux carries the NIC index for relaxed-mode kick entries (which have no
+// packet); it packs into the padding after kind, keeping the 24-byte size.
 type laneEvent struct {
 	key  uint64
 	p    *packet
 	kind uint8
+	aux  int32
 }
 
 // lane is the deferred event queue: a 4-ary min-heap of pipeline events
@@ -216,6 +228,16 @@ func (n *Network) exec(ev *laneEvent) {
 		n.arrive(ev.p)
 	case lanePortDone:
 		n.portDone(ev.p)
+	case laneRelaxedAdvance:
+		n.advance(ev.aux)
+	case laneRelaxedPortWake:
+		n.relaxedPortWake(n.ports[ev.aux])
+	case laneRelaxedBatch:
+		n.drainBatch()
+	case laneRelaxedDeliver:
+		n.relaxedDeliver(ev.p, sim.Time(ev.key>>laneSeqBits))
+	case laneRelaxedComplete:
+		n.relaxedComplete(ev.p, sim.Time(ev.key>>laneSeqBits))
 	default:
 		n.deliverAt(ev.p, sim.Time(ev.key>>laneSeqBits))
 	}

@@ -41,7 +41,14 @@ import (
 // its per-hop queueing mechanics, arbitration order and random-delay
 // derivation.  Any change that can alter packet schedules must bump this
 // constant so persisted simulation artifacts keyed on it are invalidated.
-const ModelVersion = 2
+//
+// Version 3 adds the schedule-relaxed execution mode (relaxed.go) and makes
+// it the default: per-flow RNG substreams and fused analytic route walks
+// replace the strict global event interleaving.  Strict ordering — which
+// still reproduces version-2 packet schedules byte-for-byte — remains
+// selectable via Config.StrictOrder and participates in the fingerprint, so
+// artifacts from the two modes never collide.
+const ModelVersion = 3
 
 // Config describes the fabric and its links.
 type Config struct {
@@ -75,6 +82,21 @@ type Config struct {
 	// Topology selects the fabric layout connecting the nodes; nil means the
 	// paper's single switch (Star).
 	Topology Topology
+	// StrictOrder selects the golden-oracle execution mode: one global
+	// (time, seq) event interleaving with all fabric delays drawn from a
+	// single shared RNG stream, byte-identical to ModelVersion 2 schedules.
+	// The zero value selects the relaxed mode (relaxed.go): per-flow RNG
+	// substreams and fused route walks, deterministic per root seed but only
+	// statistically equivalent to strict runs.  The mode changes simulated
+	// schedules, so it participates in Fingerprint.
+	StrictOrder bool
+	// Workers caps the worker goroutines the relaxed mode may use to execute
+	// independent leaf-domain batches concurrently; 0 or 1 means fully
+	// sequential.  Parallel execution is restricted to batches whose merge
+	// order is forced, so simulated schedules are byte-identical for every
+	// Workers value — which is why Workers is deliberately EXCLUDED from
+	// Fingerprint: it is an execution knob, not a model parameter.
+	Workers int
 }
 
 // CabConfig returns a configuration modelled after one bottom-level switch of
@@ -100,8 +122,12 @@ func CabConfig() Config {
 // configs with equal fingerprints produce identical packet schedules for the
 // same kernel seed.  New Config fields MUST be added here.
 func (c Config) Fingerprint() string {
+	order := "relaxed"
+	if c.StrictOrder {
+		order = "strict"
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "nodes=%d;bw=%s;mtu=%d;wire=%d;fabric=%d;jitter=%d;tailp=%s;taild=%d;ebuf=%d;topo=%s",
+	fmt.Fprintf(&b, "nodes=%d;bw=%s;mtu=%d;wire=%d;fabric=%d;jitter=%d;tailp=%s;taild=%d;ebuf=%d;topo=%s;order=%s",
 		c.Nodes,
 		strconv.FormatFloat(c.LinkBandwidth, 'g', -1, 64),
 		c.MTU,
@@ -111,7 +137,10 @@ func (c Config) Fingerprint() string {
 		strconv.FormatFloat(c.TailProb, 'g', -1, 64),
 		int64(c.TailDelay),
 		c.EgressBufferBytes,
-		TopologyFingerprint(c.topology()))
+		TopologyFingerprint(c.topology()),
+		order)
+	// Config.Workers is intentionally absent: parallel relaxed execution is
+	// byte-identical to sequential, so it must not fork the artifact space.
 	return b.String()
 }
 
@@ -255,6 +284,9 @@ type messageState struct {
 	onComplete func(sim.Time)
 	fnArg      func(sim.Time, any)
 	arg        any
+	// completeAt is the max arrival time committed so far by relaxed-mode
+	// walks of this message's packets; the completion fires there.
+	completeAt sim.Time
 }
 
 // pktQueue is a FIFO of packets that reuses its backing array: popping
@@ -293,6 +325,29 @@ type sender interface {
 type flowQueue struct {
 	flow Flow
 	q    pktQueue
+	// rng is the flow's private delay substream (relaxed mode), seeded
+	// deterministically from (root seed, source node, class, id) on first
+	// use; unseeded in strict mode, which draws from the shared stream.
+	// It is a sim.Substream rather than math/rand: walks draw one fabric
+	// delay per packet-hop, and the splitmix64 step is several times
+	// cheaper per draw.
+	rng     sim.Substream
+	rngInit bool
+	// exprPending marks a head that was express-eligible (expressHeads) but
+	// denied buffer admission: it keeps its express pick — at the port
+	// wake's instant, not the drain cursor's — when credits return.
+	exprPending bool
+	// exprSeen is the last instant this flow received an express grant.
+	// Strict round-robin arbitration owes a newly-active flow ONE slot, not
+	// one per packet: without this stamp a window of sends injected to a
+	// parked NIC would be expressed packet-by-packet (each pop makes the
+	// next packet the fresh head), degrading the batched cursor to per-
+	// packet processing.  Initialized to a pre-simulation sentinel so an
+	// inject at t=0 is still eligible.
+	exprSeen sim.Time
+	// bytes accumulates the flow's delivered payload in relaxed mode, where
+	// walks bypass the per-packet class map; Stats folds it back in.
+	bytes int64
 }
 
 // nic models a node's network interface: per-flow queues drained round-robin
@@ -302,14 +357,67 @@ type nic struct {
 	link    Link
 	queues  []*flowQueue
 	byFlow  map[Flow]*flowQueue
-	next    int // round-robin cursor into queues
+	lastFq  *flowQueue // most recent byFlow hit; senders repeat flows, so this skips the map hash
+	next    int        // round-robin cursor into queues
 	busy    bool
 	busyNS  sim.Duration
 	stalled bool
+	// Relaxed-mode drain state: freeAt is how far ahead of the kernel clock
+	// the uplink has committed serializations; parked marks the NIC as
+	// suspended on the network's advance list (drain reached the commit
+	// horizon), deduping repeated parks; waitingOn lists the ports whose
+	// relWaiters FIFOs the NIC is queued in (at most a handful, so slice
+	// scans beat the strict path's per-port map here).
+	freeAt sim.Time
+	// exprFreeAt paces express picks (expressHeads) among themselves at link
+	// rate, so a burst of fresh flow heads departs serialized rather than in
+	// parallel.
+	exprFreeAt sim.Time
+	parked     bool
+	dirty      bool // queued on the network's same-instant batch-drain list
+	waitingOn  []*SwitchPort
+	// crossQueued counts queued packets whose walk would leave the NIC's
+	// leaf domain (maintained at enqueue/pick time, relaxed mode only).  A
+	// parked NIC with crossQueued == 0 is confined to its own leaf's ports,
+	// which is what lets advance windows partition by leaf and run on
+	// worker goroutines (workers.go).
+	crossQueued int
 }
 
-// resume implements sender.
-func (nc *nic) resume(n *Network) { n.tryStartUplink(nc) }
+// isWaitingOn reports whether the NIC is already queued in pt's relaxed
+// waiter FIFO.
+func (nc *nic) isWaitingOn(pt *SwitchPort) bool {
+	for _, w := range nc.waitingOn {
+		if w == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// dropWaitingOn removes pt from the NIC's registration list.
+func (nc *nic) dropWaitingOn(pt *SwitchPort) {
+	for i, w := range nc.waitingOn {
+		if w == pt {
+			last := len(nc.waitingOn) - 1
+			nc.waitingOn[i] = nc.waitingOn[last]
+			nc.waitingOn[last] = nil
+			nc.waitingOn = nc.waitingOn[:last]
+			return
+		}
+	}
+}
+
+// resume implements sender.  Relaxed mode drains directly: a resumed waiter
+// must attempt its pick at the wake instant, even if its uplink cursor is
+// committed ahead of the clock, or it would forfeit its FIFO turn.
+func (nc *nic) resume(n *Network) {
+	if n.relaxed {
+		n.drainNic(nc, nil)
+		return
+	}
+	n.tryStartUplink(nc)
+}
 
 // SwitchPort is one output port of a switch: a finite input buffer governed
 // by credits, a FIFO of packets awaiting transmission, and the link the port
@@ -330,6 +438,24 @@ type SwitchPort struct {
 	// stall order so no sender starves when the port is saturated.
 	waiters []sender
 	waiting map[sender]bool
+
+	// Relaxed-mode walk state: freeAt is when the port's link frees after
+	// the last committed serialization; led schedules the future credit
+	// releases matching the reserves counted in buffered; relWaiters is the
+	// stall-order FIFO of NICs blocked on this buffer (only NICs transmit in
+	// relaxed mode — walks never stall mid-route); idx is the port's
+	// position in Network.ports (for lane wake entries); wakePending dedupes
+	// the deferred waiter wake.
+	freeAt sim.Time
+	// relArrival is the latest honest (pre-FIFO-wait) arrival instant of any
+	// packet committed here; freeAt − relArrival is the backlog that had
+	// genuinely arrived by then, which is what probe shadow service charges
+	// instead of the commit-order freeAt (see walkPacket).
+	relArrival  sim.Time
+	led         relLedger
+	relWaiters  []*nic
+	idx         int32
+	wakePending bool
 }
 
 // Label names the port ("down3" for node 3's egress, "leaf0.up1" for a
@@ -359,6 +485,7 @@ type Network struct {
 	nics   []*nic
 	egress []*SwitchPort // per-node egress ports
 	trunks []*SwitchPort // inter-switch ports (empty for Star)
+	ports  []*SwitchPort // every port, indexed by SwitchPort.idx
 	// routes[src*Nodes+dst] is the shared port sequence between the pair,
 	// ending at dst's egress port; resolved once at construction so the
 	// per-packet path costs one slice-header copy.
@@ -391,12 +518,55 @@ type Network struct {
 	portDoneFn   func(any)
 	deliverFn    func(any)
 
+	// relaxed selects the schedule-relaxed execution mode (relaxed.go);
+	// lookahead bounds how far ahead of the kernel clock a NIC drain may
+	// commit; the callbacks are its kernel-event fallbacks for when the
+	// lane is unavailable.
+	relaxed         bool
+	lookahead       sim.Duration
+	serResidual     sim.Duration
+	workers         int
+	relaxDeliverFn  func(any)
+	relaxCompleteFn func(any)
+	portWakeFn      func(any)
+	advanceFn       func(any)
+
+	// Parked NICs awaiting the shared deferred advance entry (relaxed mode):
+	// advanceAt/advGen identify the pending entry (stale generations no-op),
+	// advancing suppresses re-arming while advance() itself resumes drains,
+	// and parkedScratch is the spare backing array the resume loop swaps in.
+	parked        []*nic
+	parkedScratch []*nic
+	advancing     bool
+	advPending    bool
+	advanceAt     sim.Time
+	advGen        int32
+	// NICs with freshly enqueued traffic awaiting the same-instant batch
+	// drain: injection marks the NIC dirty instead of draining inline, so a
+	// rank posting a whole window of sends in one event pays one drain scan,
+	// not one per message.  batchPending dedupes the lane entry; batchFn is
+	// the kernel-event fallback.
+	dirtyNics    []*nic
+	batchPending bool
+	batchFn      func(any)
+	// Leaf-domain worker scratch (workers.go): per-slot side-effect sinks,
+	// the slot lists grouped by leaf, and the leaves used this window.
+	sinks     []relSink
+	leafSlots [][]int
+	leafUsed  []int
+	leafSeen  []bool
+	// wakingPort is the port whose waiter FIFO is mid-wake: the resumed NIC
+	// may attempt admission there even though other waiters are queued (it
+	// is the FIFO head taking its granted turn).
+	wakingPort *SwitchPort
+
 	// Statistics.
 	packetsDelivered int64
 	bytesDelivered   int64
 	bytesByClass     map[string]int64
 	stallEvents      int64
 	cutThroughEvents int64
+	parallelWindows  int64
 }
 
 // New creates a network attached to kernel k.
@@ -436,6 +606,7 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		n.trunks = append(n.trunks, n.newPort(spec.Label, -1, link, queueCap))
 	}
 	n.routes = make([][]*SwitchPort, cfg.Nodes*cfg.Nodes)
+	maxHops := 1
 	for src := 0; src < cfg.Nodes; src++ {
 		for dst := 0; dst < cfg.Nodes; dst++ {
 			if src == dst {
@@ -447,12 +618,40 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 				route = append(route, n.trunks[h])
 			}
 			n.routes[src*cfg.Nodes+dst] = append(route, n.egress[dst])
+			if len(route) > maxHops {
+				maxHops = len(route)
+			}
 		}
 	}
+	// Relaxed-mode lookahead: a multiple of one full traversal of the
+	// deepest route (per hop: wire propagation, mean fabric overhead, one
+	// MTU serialization) plus the final wire.  A drain never commits further
+	// ahead of the clock than this, so traffic injected by events the drain
+	// could not yet see contends for arbitration at most one lookahead
+	// window late.  The window multiplier trades scheduling overhead (one
+	// advance entry and one batch of drains per window) against arbitration
+	// staleness; the statistical-equivalence gates bound the drift the
+	// chosen value may introduce.
+	serMTU := Link{Bandwidth: cfg.LinkBandwidth}.Serialization(cfg.MTU)
+	n.lookahead = relaxedLookaheadWindows * (sim.Duration(maxHops)*(cfg.WireDelay+cfg.FabricDelay+serMTU) + cfg.WireDelay)
+	// Probe-express residual: a probe enqueued while its NIC's drain cursor
+	// is committed ahead is walked at now + serResidual instead of waiting
+	// for the cursor (relaxed.go, expressProbes).  Half an MTU serialization
+	// is the expected residual service time of the packet a busy strict-mode
+	// uplink would be transmitting at the probe's arrival — the head-of-line
+	// wait round-robin arbitration actually imposes on a probe.
+	n.serResidual = serMTU / 2
 	n.uplinkDoneFn = func(a any) { n.uplinkDone(a.(*packet)) }
 	n.arriveFn = func(a any) { n.arrive(a.(*packet)) }
 	n.portDoneFn = func(a any) { n.portDone(a.(*packet)) }
 	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
+	n.relaxed = !cfg.StrictOrder
+	n.workers = cfg.Workers
+	n.relaxDeliverFn = func(a any) { n.relaxedDeliver(a.(*packet), n.k.Now()) }
+	n.relaxCompleteFn = func(a any) { n.relaxedComplete(a.(*packet), n.k.Now()) }
+	n.portWakeFn = func(a any) { n.relaxedPortWake(a.(*SwitchPort)) }
+	n.advanceFn = func(a any) { n.advance(a.(int32)) }
+	n.batchFn = func(any) { n.drainBatch() }
 	if n.fastOn && k.SetAux(n) != nil {
 		// Another network already runs its lane on this kernel; this one
 		// falls back to plain kernel events (schedules are identical).
@@ -461,16 +660,19 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// newPort builds one switch output port.
+// newPort builds one switch output port and registers it in the port index.
 func (n *Network) newPort(label string, node int, link Link, queueCap int) *SwitchPort {
-	return &SwitchPort{
+	pt := &SwitchPort{
 		label:    label,
 		node:     node,
 		link:     link,
 		capacity: n.cfg.EgressBufferBytes,
 		queue:    pktQueue{buf: make([]*packet, 0, queueCap)},
 		waiting:  make(map[sender]bool),
+		idx:      int32(len(n.ports)),
 	}
+	n.ports = append(n.ports, pt)
+	return pt
 }
 
 // getPacket serves a packet struct, preferring the free list.
@@ -506,6 +708,7 @@ func (n *Network) putMessageState(ms *messageState) {
 	ms.onComplete = nil
 	ms.fnArg = nil
 	ms.arg = nil
+	ms.completeAt = 0
 	n.msgFree = append(n.msgFree, ms)
 }
 
@@ -613,8 +816,11 @@ func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState)
 		p.src, p.dst, p.size, p.flow, p.sent, p.msg = src, dst, psize, flow, now, ms
 		p.route, p.hop = route, 0
 		fq.q.push(p)
+		if n.relaxed && n.crossLeaf(p) {
+			nc.crossQueued++
+		}
 	}
-	n.tryStartUplink(nc)
+	n.pump(nc)
 	return nil
 }
 
@@ -651,12 +857,16 @@ func (n *Network) checkEndpoints(src, dst int) error {
 // map lookup off the per-packet path.
 func (n *Network) flowQueueFor(src int, flow Flow) (*nic, *flowQueue) {
 	nc := n.nics[src]
+	if fq := nc.lastFq; fq != nil && fq.flow == flow {
+		return nc, fq
+	}
 	fq := nc.byFlow[flow]
 	if fq == nil {
-		fq = &flowQueue{flow: flow}
+		fq = &flowQueue{flow: flow, exprSeen: -1}
 		nc.byFlow[flow] = fq
 		nc.queues = append(nc.queues, fq)
 	}
+	nc.lastFq = fq
 	return nc, fq
 }
 
@@ -664,7 +874,10 @@ func (n *Network) flowQueueFor(src int, flow Flow) (*nic, *flowQueue) {
 func (n *Network) inject(p *packet) {
 	nc, fq := n.flowQueueFor(p.src, p.flow)
 	fq.q.push(p)
-	n.tryStartUplink(nc)
+	if n.relaxed && n.crossLeaf(p) {
+		nc.crossQueued++
+	}
+	n.pump(nc)
 }
 
 // tryStartUplink starts transmitting the next admissible packet from the
@@ -729,15 +942,37 @@ func (n *Network) tryStartUplink(nc *nic) {
 	n.post(ser, laneUplinkDone, n.uplinkDoneFn, chosen)
 }
 
-// fabricDelay draws the stochastic overhead of one switch traversal: mean
-// FabricDelay, uniform jitter, and the rare exponential heavy tail.
+// fabricDelay draws the stochastic overhead of one switch traversal from the
+// shared math/rand stream (strict mode): mean FabricDelay, uniform jitter,
+// and the rare exponential heavy tail.  The draw sequence is byte-pinned to
+// the version-2 schedules, so this must keep using math/rand even though
+// fabricDelayFrom mirrors the same distribution on cheaper substreams.
 func (n *Network) fabricDelay() sim.Duration {
+	rng := n.rng
 	d := n.cfg.FabricDelay
 	if n.cfg.FabricJitter > 0 {
-		d += sim.Duration(n.rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
+		d += sim.Duration(rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
 	}
-	if n.cfg.TailProb > 0 && n.rng.Float64() < n.cfg.TailProb {
-		d += sim.Duration(n.rng.ExpFloat64() * float64(n.cfg.TailDelay))
+	if n.cfg.TailProb > 0 && rng.Float64() < n.cfg.TailProb {
+		d += sim.Duration(rng.ExpFloat64() * float64(n.cfg.TailDelay))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// fabricDelayFrom is fabricDelay drawing from an explicit per-flow substream
+// (relaxed mode): the same distribution — mean, uniform jitter, exponential
+// tail — on a generator that costs a few instructions per draw, since walks
+// consume one variate per packet-hop.
+func (n *Network) fabricDelayFrom(rng *sim.Substream) sim.Duration {
+	d := n.cfg.FabricDelay
+	if n.cfg.FabricJitter > 0 {
+		d += sim.Duration(rng.Int63n(int64(2*n.cfg.FabricJitter)+1)) - n.cfg.FabricJitter
+	}
+	if n.cfg.TailProb > 0 && rng.Float64() < n.cfg.TailProb {
+		d += sim.Duration(rng.ExpFloat64() * float64(n.cfg.TailDelay))
 	}
 	if d < 0 {
 		d = 0
@@ -849,16 +1084,22 @@ func (n *Network) deliverAt(p *packet, at sim.Time) {
 	if ms := p.msg; ms != nil {
 		ms.remaining--
 		if ms.remaining == 0 {
-			done, fnArg, arg := ms.onComplete, ms.fnArg, ms.arg
-			n.putMessageState(ms)
-			if done != nil {
-				done(at)
-			} else if fnArg != nil {
-				fnArg(at, arg)
-			}
+			n.finishMessage(ms, at)
 		}
 	}
 	n.putPacket(p)
+}
+
+// finishMessage recycles a completed message tracker and fires its
+// completion callback at time at.
+func (n *Network) finishMessage(ms *messageState, at sim.Time) {
+	done, fnArg, arg := ms.onComplete, ms.fnArg, ms.arg
+	n.putMessageState(ms)
+	if done != nil {
+		done(at)
+	} else if fnArg != nil {
+		fnArg(at, arg)
+	}
 }
 
 // Stats summarizes the traffic the network has carried so far.
@@ -872,6 +1113,10 @@ type Stats struct {
 	// It changes with contention and fast-path availability but never with
 	// the simulated schedule itself.
 	CutThroughEvents int64
+	// ParallelWindows is the number of advance windows executed on worker
+	// goroutines (Config.Workers > 1 and the window partitioned by leaf).
+	// Execution telemetry only: it never affects the simulated schedule.
+	ParallelWindows int64
 	// UplinkBusy and DownlinkBusy are the cumulative transmission times per
 	// node link.
 	UplinkBusy   []sim.Duration
@@ -891,9 +1136,19 @@ func (n *Network) Stats() Stats {
 		BytesByClass:     make(map[string]int64, len(n.bytesByClass)),
 		StallEvents:      n.stallEvents,
 		CutThroughEvents: n.cutThroughEvents,
+		ParallelWindows:  n.parallelWindows,
 	}
 	for k, v := range n.bytesByClass {
 		s.BytesByClass[k] = v
+	}
+	for _, nc := range n.nics {
+		// Relaxed-mode walks account per-flow instead of through the class
+		// map; fold those counters in here.
+		for _, fq := range nc.queues {
+			if fq.bytes != 0 {
+				s.BytesByClass[fq.flow.Class] += fq.bytes
+			}
+		}
 	}
 	for _, nc := range n.nics {
 		s.UplinkBusy = append(s.UplinkBusy, nc.busyNS)

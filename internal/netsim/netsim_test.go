@@ -418,3 +418,47 @@ func BenchmarkPacketDelivery(b *testing.B) {
 		k.Run()
 	}
 }
+
+// benchBulkTraffic drives a closed-loop message load through the bare
+// network kernel — no mpisim ranks, no measurement harness — so the relaxed
+// and strict pipelines can be compared on pure simulator throughput (the
+// end-to-end campaign benchmarks dilute the kernel with rank scheduling).
+// Every node keeps one message stream in flight, injecting the next message
+// from the previous one's completion, the steady-state shape campaign
+// traffic has between bursts.
+func benchBulkTraffic(b *testing.B, strict bool) {
+	const perNode = 250
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		cfg := CabConfig()
+		cfg.StrictOrder = strict
+		n := MustNew(k, cfg)
+		delivered := 0
+		var send func(src, m int)
+		send = func(src, m int) {
+			if m >= perNode {
+				return
+			}
+			dst := (src + 1 + m) % cfg.Nodes
+			if dst == src {
+				dst = (dst + 1) % cfg.Nodes
+			}
+			size := 2048 + (m%7)*1024
+			if err := n.SendMessage(src, dst, size, Flow{Class: "bulk", ID: m % 8},
+				func(sim.Time) { delivered++; send(src, m+1) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for src := 0; src < cfg.Nodes; src++ {
+			send(src, 0)
+		}
+		k.Run()
+		if want := cfg.Nodes * perNode; delivered != want {
+			b.Fatalf("delivered %d of %d messages", delivered, want)
+		}
+	}
+}
+
+func BenchmarkBulkTrafficRelaxed(b *testing.B) { benchBulkTraffic(b, false) }
+func BenchmarkBulkTrafficStrict(b *testing.B)  { benchBulkTraffic(b, true) }

@@ -113,6 +113,7 @@ func TestStarGoldenTrace(t *testing.T) {
 	k := sim.NewKernel(42)
 	cfg := CabConfig()
 	cfg.Nodes = 6
+	cfg.StrictOrder = true // golden oracle: the pinned version-2 schedule
 	n := MustNew(k, cfg)
 	var last sim.Time
 	var count int

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// workersRun drives a fat-tree workload that alternates leaf-local storms
+// (partitionable by leaf, so Workers > 1 executes them on goroutines) with a
+// cross-leaf phase (forcing the sequential fallback mid-run), and returns
+// the full delivery trace plus the final statistics.
+func workersRun(t *testing.T, workers int) (string, Stats) {
+	t.Helper()
+	k := sim.NewKernel(123)
+	cfg := CabConfig()
+	cfg.Nodes = 16
+	cfg.Topology = FatTree{Leaves: 4, UplinksPerLeaf: 2}
+	cfg.Workers = workers
+	n := MustNew(k, cfg)
+	var trace strings.Builder
+	n.Observe(func(d Delivery) {
+		fmt.Fprintf(&trace, "%d>%d sz=%d sent=%d arr=%d\n",
+			d.Src, d.Dst, d.Size, int64(d.Sent), int64(d.Arrived))
+	})
+	localStorm := func(round int) {
+		for leaf := 0; leaf < 4; leaf++ {
+			for a := 0; a < 4; a++ {
+				for b := 0; b < 4; b++ {
+					if a == b {
+						continue
+					}
+					src, dst := leaf*4+a, leaf*4+b
+					size := 48*1024 + src*131 + round*977
+					flow := Flow{Class: "local", ID: round*1000 + src*16 + dst}
+					if err := n.SendMessage(src, dst, size, flow, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	localStorm(0)
+	k.CallAt(2*sim.Time(sim.Millisecond), func(any) {
+		// Cross-leaf phase: every NIC now holds spine-bound traffic, so
+		// every advance window in flight falls back to the sequential loop.
+		for src := 0; src < 16; src++ {
+			dst := (src + 5) % 16
+			flow := Flow{Class: "cross", ID: 2000 + src}
+			if err := n.SendMessage(src, dst, 96*1024, flow, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}, nil)
+	k.CallAt(5*sim.Time(sim.Millisecond), func(any) { localStorm(1) }, nil)
+	k.Run()
+	return trace.String(), n.Stats()
+}
+
+// TestWorkersByteIdentical is the seed-stability gate for the parallel
+// execution knob: the simulated schedule — every delivery's timing and
+// order, and every counter — must be byte-identical for any Workers value,
+// which is the invariant that keeps Workers out of Config.Fingerprint.
+func TestWorkersByteIdentical(t *testing.T) {
+	seqTrace, seqStats := workersRun(t, 0)
+	if seqStats.ParallelWindows != 0 {
+		t.Fatalf("sequential run reports %d parallel windows", seqStats.ParallelWindows)
+	}
+	for _, workers := range []int{2, 4} {
+		parTrace, parStats := workersRun(t, workers)
+		if parStats.ParallelWindows == 0 {
+			t.Fatalf("workers=%d never took the parallel path; the test workload no longer partitions by leaf", workers)
+		}
+		if parTrace != seqTrace {
+			t.Fatalf("workers=%d delivery trace diverges from sequential run:\nseq:\n%s\npar:\n%s",
+				workers, head(seqTrace, 20), head(parTrace, 20))
+		}
+		parStats.ParallelWindows = 0 // execution telemetry, allowed to differ
+		if fmt.Sprintf("%+v", parStats) != fmt.Sprintf("%+v", seqStats) {
+			t.Fatalf("workers=%d stats diverge:\nseq: %+v\npar: %+v", workers, seqStats, parStats)
+		}
+	}
+}
+
+// TestWorkersStarNeverParallel pins the degenerate case: a single-leaf
+// topology has nothing to partition, so Workers is inert there.
+func TestWorkersStarNeverParallel(t *testing.T) {
+	k := sim.NewKernel(9)
+	cfg := CabConfig()
+	cfg.Nodes = 6
+	cfg.Workers = 8
+	n := MustNew(k, cfg)
+	for i := 0; i < 6; i++ {
+		if err := n.SendMessage(i, (i+1)%6, 64*1024, Flow{Class: "s", ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if w := n.Stats().ParallelWindows; w != 0 {
+		t.Fatalf("star topology took %d parallel windows", w)
+	}
+}
+
+// head returns the first n lines of s, for readable failure output.
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -33,7 +33,14 @@ import (
 // change that can alter the event schedule (and therefore every measurement
 // derived from it) must bump this constant so persisted simulation artifacts
 // keyed on it are invalidated.
-const KernelVersion = 2
+//
+// Version 3 introduces the schedule-relaxed execution mode: the network
+// layer's deferred lane may commit pipeline work ahead of the clock (per-flow
+// random substreams, analytically fused route walks) instead of replaying the
+// strict global (time, seq) interleaving.  The strict golden-oracle mode
+// still reproduces version-2 schedules byte-for-byte, but artifacts are keyed
+// on the mode, so the version bump invalidates every pre-relaxation cache.
+const KernelVersion = 3
 
 // Time is a point in virtual time, expressed in nanoseconds since the start
 // of the simulation.
@@ -191,7 +198,7 @@ func (r *eventRing) pop() *Event {
 // processes).
 type Kernel struct {
 	now     Time
-	events  []*Event // binary min-heap ordered by (at, seq)
+	events  []heapEntry // 4-ary min-heap ordered by packed (at, seq) keys
 	nowq    eventRing
 	pool    []*Event
 	seq     uint64
@@ -284,8 +291,8 @@ func (k *Kernel) NextEventKey() (Time, uint64, bool) {
 	if k.nowq.n > 0 {
 		e = k.nowq.peek()
 	}
-	if len(k.events) > 0 && (e == nil || eventLess(k.events[0], e)) {
-		e = k.events[0]
+	if len(k.events) > 0 && (e == nil || eventLess(k.events[0].e, e)) {
+		e = k.events[0].e
 	}
 	if e == nil {
 		return 0, 0, false
@@ -331,8 +338,8 @@ func (k *Kernel) NewRand(name string) *rand.Rand {
 // Pending reports the number of scheduled, non-cancelled events.
 func (k *Kernel) Pending() int {
 	n := 0
-	for _, e := range k.events {
-		if !e.cancelled {
+	for _, he := range k.events {
+		if !he.e.cancelled {
 			n++
 		}
 	}
@@ -367,12 +374,48 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+// heapEntry carries an event's packed (at, seq) ordering key beside its
+// pointer, so heap sifts compare contiguous uint64s instead of dereferencing
+// two Events per comparison.  Keys use the same 36/28-bit time/seq packing as
+// the network layer's deferred lane; the rare out-of-range event gets the
+// sentinel key and falls back to a full field comparison, preserving the
+// exact (at, seq) order in all cases.
+type heapEntry struct {
+	key uint64
+	e   *Event
+}
+
+const (
+	keySeqBits = 28
+	keyMaxAt   = Time(1)<<(64-keySeqBits) - 1
+	keyMaxSeq  = uint64(1)<<keySeqBits - 1
+)
+
+// eventKey packs (at, seq) into a single-compare ordering key, or the
+// sentinel when either component is out of packing range.
+func eventKey(at Time, seq uint64) uint64 {
+	if at > keyMaxAt || seq > keyMaxSeq {
+		return ^uint64(0)
+	}
+	return uint64(at)<<keySeqBits | seq
+}
+
+// entryLess orders heap entries by packed key; keys are unique while in
+// packing range (seq is unique per kernel), so the field fallback only
+// breaks ties between sentinel-keyed entries.
+func entryLess(a, b *heapEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return eventLess(a.e, b.e)
+}
+
 func (k *Kernel) heapPush(e *Event) {
-	h := append(k.events, e)
+	h := append(k.events, heapEntry{key: eventKey(e.at, e.seq), e: e})
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !eventLess(h[i], h[parent]) {
+		if !entryLess(&h[i], &h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
@@ -383,10 +426,10 @@ func (k *Kernel) heapPush(e *Event) {
 
 func (k *Kernel) heapPop() *Event {
 	h := k.events
-	top := h[0]
+	top := h[0].e
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = nil
+	h[n] = heapEntry{}
 	h = h[:n]
 	i := 0
 	for {
@@ -400,11 +443,11 @@ func (k *Kernel) heapPop() *Event {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if eventLess(h[c], h[best]) {
+			if entryLess(&h[c], &h[best]) {
 				best = c
 			}
 		}
-		if !eventLess(h[best], h[i]) {
+		if !entryLess(&h[best], &h[i]) {
 			break
 		}
 		h[i], h[best] = h[best], h[i]
@@ -566,12 +609,12 @@ func (k *Kernel) step(deadline Time) bool {
 		if k.nowq.n > 0 {
 			e = k.nowq.peek()
 			fromRing = true
-			if len(k.events) > 0 && eventLess(k.events[0], e) {
-				e = k.events[0]
+			if len(k.events) > 0 && eventLess(k.events[0].e, e) {
+				e = k.events[0].e
 				fromRing = false
 			}
 		} else if len(k.events) > 0 {
-			e = k.events[0]
+			e = k.events[0].e
 		} else {
 			if k.aux != nil && k.aux.DrainBefore(maxTime, ^uint64(0), capDeadline(deadline)) {
 				continue
@@ -638,10 +681,10 @@ func (k *Kernel) Shutdown() {
 	k.shutdown = true
 	// Cancel all pending events so no further work is scheduled, returning
 	// pooled ones to the free list.
-	for _, e := range k.events {
+	for _, he := range k.events {
 		k.stats.EventsCancelled++
-		e.cancelled = true
-		k.recycle(e)
+		he.e.cancelled = true
+		k.recycle(he.e)
 	}
 	k.events = k.events[:0]
 	for k.nowq.n > 0 {

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Two-sample distribution comparison for the statistical-equivalence gates.
+//
+// The schedule-relaxed simulator (netsim relaxed mode) is deterministic per
+// seed but not byte-identical to the strict golden oracle; the contract it
+// must honor is distributional — latency and slowdown samples drawn from the
+// two modes come from the same population.  The Kolmogorov–Smirnov statistic
+// is the natural gate: it is nonparametric, sensitive to both location and
+// shape, and has a closed-form critical value, so a test can state "reject
+// equality at level α" without tabulated constants.
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) - F_b(x)|, the maximum gap between the samples'
+// empirical CDFs.  Both samples must be non-empty; inputs are not modified.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSStatistic on empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Advance past ties as a block so the CDF gap is evaluated between
+		// distinct support points, never mid-step.
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// KSCritical returns the asymptotic critical value for the two-sample KS
+// statistic at significance level alpha: c(α)·sqrt((n+m)/(n·m)) with
+// c(α) = sqrt(-ln(α/2)/2).  D above this value rejects the hypothesis that
+// the samples share a distribution at level α.
+func KSCritical(n, m int, alpha float64) float64 {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("stats: KSCritical with sample sizes %d, %d", n, m))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: KSCritical with alpha %g outside (0, 1)", alpha))
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/float64(n*m))
+}
+
+// KSReport is the outcome of a two-sample equivalence check.
+type KSReport struct {
+	D        float64 // observed KS statistic
+	Critical float64 // rejection threshold at the requested level
+	Alpha    float64
+	Na, Nb   int
+}
+
+// Equivalent reports whether the samples passed (D below the critical
+// value — equality was NOT rejected at level alpha).
+func (r KSReport) Equivalent() bool { return r.D <= r.Critical }
+
+func (r KSReport) String() string {
+	verdict := "equivalent"
+	if !r.Equivalent() {
+		verdict = "DIVERGENT"
+	}
+	return fmt.Sprintf("KS D=%.4f critical=%.4f (alpha=%g, n=%d/%d): %s",
+		r.D, r.Critical, r.Alpha, r.Na, r.Nb, verdict)
+}
+
+// KSCompare runs the two-sample KS test at level alpha and returns the full
+// report.  A small alpha makes the gate LENIENT (harder to reject); the
+// equivalence tests use alpha = 0.001 so only gross distributional drift —
+// not seed-to-seed noise — trips them.
+func KSCompare(a, b []float64, alpha float64) KSReport {
+	return KSReport{
+		D:        KSStatistic(a, b),
+		Critical: KSCritical(len(a), len(b), alpha),
+		Alpha:    alpha,
+		Na:       len(a),
+		Nb:       len(b),
+	}
+}
+
+// QuantileBand checks scalar summaries instead of full samples: it reports
+// whether every requested quantile of a and b agrees within tol, where tol
+// is a fraction of b's interquartile range (falling back to |median| when
+// the IQR is 0).  It is the right gate for small sample sets — experiment
+// summary tables — where a KS test has no power.
+func QuantileBand(a, b []float64, quantiles []float64, tol float64) error {
+	if len(a) == 0 || len(b) == 0 {
+		return fmt.Errorf("stats: QuantileBand on empty sample (n=%d, m=%d)", len(a), len(b))
+	}
+	scale := Quantile(b, 0.75) - Quantile(b, 0.25)
+	if scale == 0 {
+		scale = math.Abs(Median(b))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for _, q := range quantiles {
+		qa, qb := Quantile(a, q), Quantile(b, q)
+		if diff := math.Abs(qa - qb); diff > tol*scale {
+			return fmt.Errorf("stats: q%.2f differs by %.4g (a=%.4g b=%.4g, band=%.4g)",
+				q, diff, qa, qb, tol*scale)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the tests need no seeding policy.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / (1 << 53)
+}
+
+func (r *lcg) normal() float64 {
+	// Box–Muller; one value per call is plenty here.
+	u1, u2 := r.next(), r.next()
+	if u1 < 1e-15 {
+		u1 = 1e-15
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(a, a); d != 0 {
+		t.Fatalf("KS of a sample against itself = %g, want 0", d)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if d := KSStatistic(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %g, want 1", d)
+	}
+}
+
+func TestKSStatisticHandlesTies(t *testing.T) {
+	a := []float64{1, 1, 1, 2}
+	b := []float64{1, 1, 2, 2}
+	// After the tied block at 1: F_a = 3/4, F_b = 2/4 → D = 1/4.
+	if d := KSStatistic(a, b); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("KS with ties = %g, want 0.25", d)
+	}
+}
+
+func TestKSCompareSameDistributionPasses(t *testing.T) {
+	r := &lcg{s: 7}
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = r.normal()
+	}
+	for i := range b {
+		b[i] = r.normal()
+	}
+	rep := KSCompare(a, b, 0.001)
+	if !rep.Equivalent() {
+		t.Fatalf("same-distribution samples rejected: %s", rep)
+	}
+}
+
+func TestKSCompareShiftedDistributionFails(t *testing.T) {
+	r := &lcg{s: 7}
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = r.normal()
+	}
+	for i := range b {
+		b[i] = r.normal() + 1 // one-sigma location shift
+	}
+	rep := KSCompare(a, b, 0.001)
+	if rep.Equivalent() {
+		t.Fatalf("one-sigma shift not detected: %s", rep)
+	}
+}
+
+func TestKSCriticalShrinksWithSampleSize(t *testing.T) {
+	small := KSCritical(50, 50, 0.01)
+	large := KSCritical(5000, 5000, 0.01)
+	if large >= small {
+		t.Fatalf("critical value did not shrink: n=50 → %g, n=5000 → %g", small, large)
+	}
+}
+
+func TestQuantileBand(t *testing.T) {
+	r := &lcg{s: 3}
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = 10 + r.normal()
+	}
+	for i := range b {
+		b[i] = 10 + r.normal()
+	}
+	if err := QuantileBand(a, b, []float64{0.25, 0.5, 0.75}, 0.5); err != nil {
+		t.Fatalf("same-distribution quantiles rejected: %v", err)
+	}
+	for i := range a {
+		a[i] += 5
+	}
+	if err := QuantileBand(a, b, []float64{0.5}, 0.5); err == nil {
+		t.Fatal("five-IQR median shift not detected")
+	}
+}
