@@ -22,10 +22,10 @@ fmt:
 
 # Quick human-readable benchmark pass at the CI scale.
 bench:
-	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|SchedCampaign|BulkTraffic' -benchtime 1x ./...
+	SWITCHPROBE_BENCH_PRESET=ci $(GO) test -run '^$$' -bench 'Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|Table1GoroutineRanks|SchedCampaign|BulkTraffic' -benchtime 1x ./...
 
 # Machine-readable benchmark record: runs the headline cold-path benchmarks
 # (including the relaxed-vs-strict Table 1 A/B pair) and writes
 # BENCH_PR6.json (name -> ns/op, events fired/elided, events/s).
 bench-json:
-	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -preset ci -benchtime 1x -count 3 -out BENCH_PR7.json

@@ -8,6 +8,7 @@
 //	          [-seed N] [-validate] [-topology star|fattree] [-leaves N]
 //	          [-uplinks N] [-placement pack|spread|random]
 //	          [-workers N] [-strict-order]
+//	          [-rank-runtime continuation|goroutine]
 //	          [-cache-dir DIR] [-no-cache]
 //
 // With -cache-dir, measurement artifacts are served from (and persisted to)
@@ -25,6 +26,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
 	"github.com/hpcperf/switchprobe/internal/model"
+	"github.com/hpcperf/switchprobe/internal/mpisim"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/workload"
@@ -52,6 +54,7 @@ func run(args []string) error {
 	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
 	workers := fs.Int("workers", 0, "relaxed mode: worker goroutines for leaf-parallel advance windows (0/1 = sequential; the schedule is identical for every value)")
 	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
+	rankRuntime := fs.String("rank-runtime", "", "rank execution runtime: continuation (default) or goroutine; the schedule is byte-identical for both")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,10 @@ func run(args []string) error {
 	}
 	if *strictOrder && *workers > 1 {
 		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
+	}
+	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
+	if err != nil {
+		return err
 	}
 
 	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
@@ -70,6 +77,7 @@ func run(args []string) error {
 		cfg.Options.Machine.Net.StrictOrder = true
 	}
 	cfg.Options.Machine.Net.Workers = *workers
+	cfg.Options.MPI.Runtime = runtimeMode
 	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
 	if err != nil {
 		return err

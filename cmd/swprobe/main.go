@@ -6,16 +6,26 @@
 //
 //	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch|sched [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
-//	        [-workers N] [-strict-order]
+//	        [-workers N] [-strict-order] [-rank-runtime continuation|goroutine]
 //	        [-cache-dir DIR] [-no-cache]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-blockprofile FILE] [-mutexprofile FILE]
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
 //	        [-policy LIST|all] [-jobs N] [-arrivals MS]
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole campaign, so a
 // hot-path regression can be diagnosed on any experiment without editing
-// code (go tool pprof <file>).
+// code (go tool pprof <file>).  -blockprofile/-mutexprofile additionally
+// capture blocking and mutex-contention profiles, which is how goroutine
+// handoff and lock costs inside the simulator were measured.
+//
+// -rank-runtime selects how simulated MPI ranks execute: "continuation" (the
+// default) runs rank programs inline on the kernel goroutine with zero
+// goroutine switches, "goroutine" runs each rank on its own parked
+// goroutine.  Both produce byte-identical schedules, so the flag is pure
+// wall-clock (like -workers) and does not change run fingerprints or cache
+// keys.
 //
 // The topology flags select the simulated fabric for every experiment; the
 // xswitch campaign additionally sweeps the fat-tree's oversubscription and
@@ -59,6 +69,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/engine"
 	"github.com/hpcperf/switchprobe/internal/experiments"
+	"github.com/hpcperf/switchprobe/internal/mpisim"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/sched"
@@ -83,6 +94,8 @@ func run(args []string, out *os.File) error {
 	noCache := fs.Bool("no-cache", false, "disable the persistent artifact cache even when -cache-dir is set")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
+	blockProfile := fs.String("blockprofile", "", "write a goroutine blocking profile (after the campaign) to this file")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex contention profile (after the campaign) to this file")
 	topology := fs.String("topology", "star", "network topology: star or fattree")
 	leaves := fs.Int("leaves", 0, "fattree: number of leaf switches (0 = 2)")
 	uplinks := fs.Int("uplinks", 0, "fattree: uplinks per leaf to the spine (0 = one per node, no oversubscription)")
@@ -94,6 +107,7 @@ func run(args []string, out *os.File) error {
 	arrivals := fs.Float64("arrivals", 0, "sched: mean job inter-arrival gap in virtual ms (0 = derive from load)")
 	workers := fs.Int("workers", 0, "relaxed mode: worker goroutines for leaf-parallel advance windows (0/1 = sequential; the schedule is identical for every value)")
 	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
+	rankRuntime := fs.String("rank-runtime", "", "rank execution runtime: continuation (default) or goroutine; the schedule is byte-identical for both")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +116,10 @@ func run(args []string, out *os.File) error {
 	}
 	if *strictOrder && *workers > 1 {
 		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
+	}
+	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
+	if err != nil {
+		return err
 	}
 
 	cfg, err := experiments.NewConfig(experiments.Preset(*preset), *seed)
@@ -113,6 +131,7 @@ func run(args []string, out *os.File) error {
 		cfg.Options.Machine.Net.StrictOrder = true
 	}
 	cfg.Options.Machine.Net.Workers = *workers
+	cfg.Options.MPI.Runtime = runtimeMode
 	topo, err := netsim.ParseTopology(*topology, *leaves, *uplinks)
 	if err != nil {
 		return err
@@ -191,6 +210,34 @@ func run(args []string, out *os.File) error {
 				fmt.Fprintln(os.Stderr, "swprobe: memprofile:", err)
 			}
 			f.Close()
+		}()
+	}
+	if *blockProfile != "" {
+		f, err := os.Create(*blockProfile)
+		if err != nil {
+			return fmt.Errorf("blockprofile: %w", err)
+		}
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "swprobe: blockprofile:", err)
+			}
+			f.Close()
+			runtime.SetBlockProfileRate(0)
+		}()
+	}
+	if *mutexProfile != "" {
+		f, err := os.Create(*mutexProfile)
+		if err != nil {
+			return fmt.Errorf("mutexprofile: %w", err)
+		}
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "swprobe: mutexprofile:", err)
+			}
+			f.Close()
+			runtime.SetMutexProfileFraction(0)
 		}()
 	}
 

@@ -541,13 +541,21 @@ func launchAppLoop(m *cluster.Machine, o Options, app workload.App, class string
 		return nil, err
 	}
 	ar := &appRun{app: app, class: class, job: job, world: world}
-	world.Launch(func(r *mpisim.Rank) {
-		for iter := 0; ; iter++ {
-			app.Iterate(r, iter)
+	world.LaunchProgram(func(r *mpisim.Rank, _ mpisim.Cont) {
+		// An endless iteration loop in continuation-passing style: it runs on
+		// either rank runtime and never invokes the done continuation (the
+		// measurement window ends it via Kernel.Shutdown).
+		iter := 0
+		var loop, after mpisim.Cont
+		loop = func() { app.IterateThen(r, iter, after) }
+		after = func() {
 			if r.Rank() == 0 {
 				ar.iterEnds = append(ar.iterEnds, r.Now())
 			}
+			iter++
+			loop()
 		}
+		loop()
 	})
 	return ar, nil
 }

@@ -23,6 +23,7 @@ type SimUsage struct {
 	FastPathEvents  int64
 	EventsElided    int64
 	ProcSwitches    int64
+	ProcFastResumes int64
 	VirtualNS       int64
 	WallNS          int64
 }
@@ -58,9 +59,9 @@ func (u SimUsage) String() string {
 		elidedPct = 100 * float64(u.EventsElided) / float64(u.EventsFired+u.EventsElided)
 	}
 	return fmt.Sprintf(
-		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM events/s/run, %.1fx real time",
+		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM fast resumes, %.2fM events/s/run, %.1fx real time",
 		u.Runs, float64(u.EventsFired)/1e6, float64(u.EventsElided)/1e6, elidedPct, pooledPct, fastPct,
-		float64(u.ProcSwitches)/1e6, u.EventsPerSecond()/1e6, u.RealTimeFactor())
+		float64(u.ProcSwitches)/1e6, float64(u.ProcFastResumes)/1e6, u.EventsPerSecond()/1e6, u.RealTimeFactor())
 }
 
 // simUsage is the process-wide accumulator.  Measurement runs execute
@@ -75,6 +76,7 @@ var simUsage struct {
 	fastPathEvents  atomic.Int64
 	eventsElided    atomic.Int64
 	procSwitches    atomic.Int64
+	procFastResumes atomic.Int64
 	virtualNS       atomic.Int64
 	wallNS          atomic.Int64
 }
@@ -90,6 +92,7 @@ func recordRun(k *sim.Kernel, wall time.Duration) {
 	simUsage.poolReuses.Add(int64(st.PoolReuses))
 	simUsage.fastPathEvents.Add(int64(st.FastPathEvents))
 	simUsage.procSwitches.Add(int64(st.ProcSwitches))
+	simUsage.procFastResumes.Add(int64(st.ProcFastResumes))
 	simUsage.virtualNS.Add(int64(k.Now()))
 	simUsage.wallNS.Add(wall.Nanoseconds())
 }
@@ -106,6 +109,7 @@ func SimUsageSnapshot() SimUsage {
 		FastPathEvents:  simUsage.fastPathEvents.Load(),
 		EventsElided:    simUsage.eventsElided.Load(),
 		ProcSwitches:    simUsage.procSwitches.Load(),
+		ProcFastResumes: simUsage.procFastResumes.Load(),
 		VirtualNS:       simUsage.virtualNS.Load(),
 		WallNS:          simUsage.wallNS.Load(),
 	}
@@ -122,6 +126,7 @@ func ResetSimUsage() {
 	simUsage.fastPathEvents.Store(0)
 	simUsage.eventsElided.Store(0)
 	simUsage.procSwitches.Store(0)
+	simUsage.procFastResumes.Store(0)
 	simUsage.virtualNS.Store(0)
 	simUsage.wallNS.Store(0)
 }

@@ -149,7 +149,7 @@ func Launch(m *cluster.Machine, mpiCfg mpisim.Config, cfg Config) (*Injector, er
 	}
 	in := &Injector{cfg: cfg, job: job, world: world}
 	tasksPerNode := cfg.RanksPerSocket * m.Config().SocketsPerNode
-	world.Launch(func(r *mpisim.Rank) {
+	world.LaunchProgram(func(r *mpisim.Rank, _ mpisim.Cont) {
 		in.run(r, tasksPerNode)
 	})
 	return in, nil
@@ -159,7 +159,9 @@ func Launch(m *cluster.Machine, mpiCfg mpisim.Config, cfg Config) (*Injector, er
 // pseudo-code: for every partner, exchange M messages with the partner-th
 // preceding/succeeding process in the ring, idle B cycles, and after all
 // partners wait for every outstanding transfer before starting the next
-// round.
+// round.  It is a continuation-passing Program: the loop never terminates
+// (the caller ends the window via Kernel.Shutdown), so the program's done
+// continuation is never invoked.
 func (in *Injector) run(r *mpisim.Rank, tasksPerNode int) {
 	size := r.Size()
 	// The ring spans distinct nodes: partner offsets are multiples of the
@@ -173,9 +175,15 @@ func (in *Injector) run(r *mpisim.Rank, tasksPerNode int) {
 		partners = 1
 	}
 	reqs := make([]*mpisim.Request, 0, 2*partners*in.cfg.Messages)
-	for {
+	partner := 0
+	var startRound, nextPartner, roundDone mpisim.Cont
+	startRound = func() {
 		reqs = reqs[:0]
-		for partner := 0; partner < partners; partner++ {
+		partner = 0
+		nextPartner()
+	}
+	nextPartner = func() {
+		for partner < partners {
 			for mesg := 0; mesg < in.cfg.Messages; mesg++ {
 				tag := partner*in.cfg.Messages + mesg
 				from := (r.Rank() + tasksPerNode*(partner+1)) % size
@@ -183,11 +191,17 @@ func (in *Injector) run(r *mpisim.Rank, tasksPerNode int) {
 				reqs = append(reqs, r.Irecv(from, tag))
 				reqs = append(reqs, r.Isend(to, tag, in.cfg.MessageBytes))
 			}
+			partner++
 			if in.cfg.SleepCycles > 0 {
-				r.ComputeCycles(in.cfg.SleepCycles)
+				r.ComputeCyclesThen(in.cfg.SleepCycles, nextPartner)
+				return
 			}
 		}
-		r.WaitAll(reqs...)
-		in.rounds++
+		r.WaitAllThen(roundDone, reqs...)
 	}
+	roundDone = func() {
+		in.rounds++
+		startRound()
+	}
+	startRound()
 }

@@ -4,10 +4,18 @@
 // receives with eager and rendezvous protocols, waits, and the common
 // collectives (barrier, broadcast, reduce, allreduce, allgather, alltoall).
 //
-// Each rank executes as a cooperative simulation process; inter-node messages
-// travel through the netsim switch (and therefore contend with every other
-// job on the machine), while intra-node messages use a shared-memory path
-// that bypasses the switch.
+// Each rank executes either as a cooperative simulation process (a goroutine
+// parked and resumed through the kernel, the legacy runtime behind
+// World.Launch) or — for bodies written as continuation-passing Programs
+// (World.LaunchProgram) — inline on the kernel goroutine as ordinary kernel
+// events, with zero goroutines and zero channel handoffs.  The two runtimes
+// schedule a kernel event at exactly the same code points, so they produce
+// byte-identical simulation schedules; the continuation runtime is the
+// default because it removes the two-channel park/resume handshake that
+// otherwise dominates campaign wall-clock.  Inter-node messages travel
+// through the netsim switch (and therefore contend with every other job on
+// the machine), while intra-node messages use a shared-memory path that
+// bypasses the switch.
 package mpisim
 
 import (
@@ -24,6 +32,34 @@ const AnySource = -1
 // AnyTag matches a receive against any message tag.
 const AnyTag = -2
 
+// RankRuntime selects how rank bodies launched as Programs execute.  Both
+// runtimes produce byte-identical simulation schedules (they post the same
+// kernel events at the same code points), so the knob is pure wall-clock and
+// — like netsim's Workers — deliberately excluded from run fingerprints.
+type RankRuntime string
+
+const (
+	// RuntimeContinuation (the default) runs Program ranks inline on the
+	// kernel goroutine as ordinary kernel events: zero goroutines, zero
+	// channel handoffs.
+	RuntimeContinuation RankRuntime = "continuation"
+	// RuntimeGoroutine runs Program ranks as cooperative simulation
+	// processes, the legacy World.Launch execution model.
+	RuntimeGoroutine RankRuntime = "goroutine"
+)
+
+// ParseRankRuntime parses a -rank-runtime CLI value.  The empty string means
+// the default (continuation).
+func ParseRankRuntime(s string) (RankRuntime, error) {
+	switch RankRuntime(s) {
+	case "", RuntimeContinuation:
+		return RuntimeContinuation, nil
+	case RuntimeGoroutine:
+		return RuntimeGoroutine, nil
+	}
+	return "", fmt.Errorf("mpisim: unknown rank runtime %q (valid: %q, %q)", s, RuntimeContinuation, RuntimeGoroutine)
+}
+
 // Config tunes the runtime's transfer protocols.
 type Config struct {
 	// EagerThreshold is the largest message size (bytes) sent eagerly;
@@ -31,6 +67,10 @@ type Config struct {
 	EagerThreshold int
 	// ControlBytes is the wire size of RTS/CTS control messages.
 	ControlBytes int
+	// Runtime selects the execution model for ranks launched with
+	// LaunchProgram ("" means RuntimeContinuation).  Byte-identical output
+	// either way; excluded from run fingerprints.
+	Runtime RankRuntime
 }
 
 // DefaultConfig returns the production defaults (16 KiB eager threshold,
@@ -46,6 +86,9 @@ func (c Config) Validate() error {
 	}
 	if c.ControlBytes <= 0 {
 		return fmt.Errorf("mpisim: non-positive control message size %d", c.ControlBytes)
+	}
+	if _, err := ParseRankRuntime(string(c.Runtime)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -65,7 +108,7 @@ type Status struct {
 type Request struct {
 	done    bool
 	status  Status
-	waiter  *sim.Proc
+	waiter  *Rank
 	counter *waitCounter
 	// src/tag are the matching pattern of a posted receive, embedded here so
 	// posting a receive costs one allocation, not two.
@@ -75,13 +118,13 @@ type Request struct {
 // waitCounter batches the completions of a whole set of requests into a
 // single wake: Wait and WaitAll charge every still-pending request to the
 // rank's counter, and only the completion that drops it to zero wakes the
-// process.  A collective step waiting on 2·window exchanges therefore wakes
+// rank.  A collective step waiting on 2·window exchanges therefore wakes
 // the kernel once, not once per request.  Each rank owns one reusable
 // counter (a rank can only wait on one batch at a time), so waiting
 // allocates nothing.
 type waitCounter struct {
 	remaining int
-	proc      *sim.Proc
+	rank      *Rank
 }
 
 // Done reports whether the operation completed.
@@ -98,13 +141,13 @@ func (r *Request) complete(st Status) {
 	r.done = true
 	r.status = st
 	if r.waiter != nil {
-		r.waiter.Wake()
+		r.waiter.wakeWait()
 	}
 	if c := r.counter; c != nil {
 		r.counter = nil
 		c.remaining--
-		if c.remaining == 0 && c.proc != nil {
-			c.proc.Wake()
+		if c.remaining == 0 && c.rank != nil {
+			c.rank.wakeWait()
 		}
 	}
 }
@@ -268,6 +311,151 @@ func (w *World) Launch(body func(r *Rank)) {
 	}
 }
 
+// Cont is a continuation: the rest of a rank program.
+type Cont func()
+
+// Program is a rank body in continuation-passing style.  It must perform all
+// simulated-time operations through the *Then primitives (ComputeThen,
+// WaitThen, WaitAllThen, the *Then collectives, …), passing each the
+// continuation to run once the operation completes, and invoke done when the
+// rank is finished.  A Program written this way runs unchanged on either
+// rank runtime: on the continuation runtime the primitives suspend the
+// program by parking its continuation, on the goroutine runtime they execute
+// their blocking counterparts and feed the continuation through the same
+// trampoline.  A Program may keep per-rank state in closure variables; it
+// must not call the blocking primitives (Compute, Wait, the plain
+// collectives) directly, as those require a simulation process.
+type Program func(r *Rank, done Cont)
+
+// LaunchProgram launches one copy of the program per rank, on the runtime
+// selected by Config.Runtime.  Like Launch it may be called only once.
+//
+// Both runtimes post exactly one pooled kernel event per rank at the current
+// instant to start the bodies, and thereafter schedule events at exactly the
+// same code points, so the simulated schedule — every timestamp, sequence
+// number and RNG draw — is byte-identical across runtimes.
+func (w *World) LaunchProgram(p Program) {
+	if w.runtime() == RuntimeGoroutine {
+		w.Launch(func(r *Rank) { r.runProgram(p) })
+		return
+	}
+	if w.launched {
+		panic("mpisim: World.Launch called twice")
+	}
+	w.launched = true
+	k := w.m.Kernel()
+	for _, r := range w.ranks {
+		r := r
+		r.cps = true
+		r.stepFn = r.step
+		r.resumeK = func() { p(r, r.finish) }
+		// One start event per rank, the exact analogue of Spawn's initial
+		// dispatch event on the goroutine runtime.
+		k.PostAt(k.Now(), r.stepFn)
+	}
+}
+
+// runtime resolves the world's configured rank runtime.
+func (w *World) runtime() RankRuntime {
+	if w.cfg.Runtime == RuntimeGoroutine {
+		return RuntimeGoroutine
+	}
+	return RuntimeContinuation
+}
+
+// runProgram drives a Program to completion on a goroutine-backed rank.
+// Every primitive executes its blocking form and parks its continuation in
+// r.next; this trampoline then runs it, so the program observes the exact
+// semantics of a legacy Launch body while keeping the stack flat even for
+// unbounded chains of fast-path resumes.
+func (r *Rank) runProgram(p Program) {
+	finished := false
+	p(r, func() { finished = true })
+	for !finished {
+		k := r.next
+		if k == nil {
+			panic("mpisim: rank program stalled without a pending continuation")
+		}
+		r.next = nil
+		k()
+	}
+}
+
+// RunInline drives a continuation-passing body to completion on a
+// goroutine-backed rank and blocks until it invokes done.  It lets blocking
+// entry points (workload Iterate methods) delegate to their *Then
+// implementations without duplicating the logic.
+func (r *Rank) RunInline(body func(done Cont)) {
+	if r.cps {
+		panic("mpisim: RunInline requires a goroutine-backed rank")
+	}
+	finished := false
+	body(func() { finished = true })
+	for !finished {
+		k := r.next
+		if k == nil {
+			panic("mpisim: continuation chain stalled without a pending continuation")
+		}
+		r.next = nil
+		k()
+	}
+}
+
+// step resumes a suspended continuation rank.  It runs as a pooled kernel
+// event at exactly the positions the goroutine runtime would dispatch the
+// rank's process: the launch event, the expiry of a ComputeThen timer, or
+// the completion wake posted by wakeWait.
+func (r *Rank) step() {
+	k := r.resumeK
+	r.resumeK = nil
+	// Recycle the requests of the wait we were suspended on — the same point
+	// in rank order at which the blocking Wait/WaitAll recycle theirs.
+	if len(r.waitReqs) > 0 {
+		for i, req := range r.waitReqs {
+			r.recycleRequest(req)
+			r.waitReqs[i] = nil
+		}
+		r.waitReqs = r.waitReqs[:0]
+	}
+	r.run(k)
+}
+
+// run drives the trampoline from k until the rank suspends again (a
+// primitive stored resumeK and arranged a wake) or its program finishes.
+func (r *Rank) run(k Cont) {
+	for k != nil {
+		k()
+		k = r.next
+		r.next = nil
+	}
+}
+
+// wakeWait resumes the rank after a wait completed.  Goroutine ranks wake
+// their process (which posts one kernel event if it is parked); continuation
+// ranks post their step event directly.  Either way exactly one pooled
+// kernel event is posted at the current instant, keeping the two runtimes
+// event-for-event identical.  Completions only fire from kernel or lane
+// event context, while the rank is suspended, so posting unconditionally is
+// safe for a continuation rank.
+func (r *Rank) wakeWait() {
+	if r.cps {
+		k := r.w.m.Kernel()
+		k.PostAt(k.Now(), r.stepFn)
+		return
+	}
+	r.proc.Wake()
+}
+
+// finish is the done continuation of a continuation-runtime Program: the
+// counterpart of the completion bookkeeping in Launch's body wrapper.
+func (r *Rank) finish() {
+	w := r.w
+	w.finished++
+	if w.finished == len(w.ranks) {
+		w.completedAt = w.m.Kernel().Now()
+	}
+}
+
 // Done reports whether every rank's body returned.
 func (w *World) Done() bool { return w.launched && w.finished == len(w.ranks) }
 
@@ -309,6 +497,20 @@ type Rank struct {
 	reqFree []*Request
 
 	collSeq int64
+
+	// Continuation-runtime state (see LaunchProgram).  cps marks a rank with
+	// no simulation process: its body runs inline on the kernel goroutine,
+	// suspended by storing the rest of the program in resumeK and resumed by
+	// a pooled kernel event running stepFn.  next is the trampoline slot: a
+	// primitive that completes without suspending parks its continuation here
+	// and the driver loop (run / runProgram) invokes it with a flat stack.
+	// waitReqs holds the requests of the wait the rank is suspended on, so
+	// step can recycle them exactly where the blocking runtime would.
+	cps      bool
+	stepFn   func()
+	next     Cont
+	resumeK  Cont
+	waitReqs []*Request
 }
 
 // newRequest serves a request, preferring the rank's free list.
@@ -338,9 +540,10 @@ func (r *Rank) Node() int { return r.w.nodeOf[r.rank] }
 func (r *Rank) World() *World { return r.w }
 
 // Now returns the current virtual time.
-func (r *Rank) Now() sim.Time { return r.proc.Now() }
+func (r *Rank) Now() sim.Time { return r.w.m.Kernel().Now() }
 
-// Proc returns the underlying simulation process.
+// Proc returns the underlying simulation process, or nil for a rank running
+// on the continuation runtime (which has no process).
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Compute occupies the rank's core for d of virtual time.
@@ -529,14 +732,18 @@ func (w *World) intraNodeDelay(size int) sim.Duration {
 }
 
 // Wait blocks until the request completes and returns its status.  The
-// request is recycled and must not be used afterwards.
+// request is recycled and must not be used afterwards.  A wait on an
+// already-complete request never parks (counted in
+// sim.Stats.ProcFastResumes).
 func (r *Rank) Wait(req *Request) Status {
 	if !req.done {
-		req.waiter = r.proc
+		req.waiter = r
 		for !req.done {
 			r.proc.Block()
 		}
 		req.waiter = nil
+	} else {
+		r.w.m.Kernel().NoteFastResume()
 	}
 	st := req.status
 	r.recycleRequest(req)
@@ -545,21 +752,25 @@ func (r *Rank) Wait(req *Request) Status {
 
 // WaitAll blocks until every request completes, waking the process exactly
 // once when the last outstanding request finishes.  The requests are
-// recycled and must not be used afterwards.
+// recycled and must not be used afterwards.  A wait with zero pending
+// requests never parks (counted in sim.Stats.ProcFastResumes).
 func (r *Rank) WaitAll(reqs ...*Request) {
 	c := &r.wc
 	c.remaining = 0
-	c.proc = r.proc
+	c.rank = r
 	for _, req := range reqs {
 		if !req.done {
 			c.remaining++
 			req.counter = c
 		}
 	}
+	if c.remaining == 0 {
+		r.w.m.Kernel().NoteFastResume()
+	}
 	for c.remaining > 0 {
 		r.proc.Block()
 	}
-	c.proc = nil
+	c.rank = nil
 	for _, req := range reqs {
 		r.recycleRequest(req)
 	}

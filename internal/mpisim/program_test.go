@@ -1,0 +1,296 @@
+package mpisim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/cluster"
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// exerciseProgram is a Program touching every continuation-passing primitive
+// and collective: compute (including the zero-length fast path), eager and
+// rendezvous point-to-point transfers, intra-node transfers, send/recv
+// exchange, waits on already-done requests, zero-pending batch waits and the
+// full collective set.
+func exerciseProgram(r *Rank, done Cont) {
+	n := r.Size()
+	far := (r.Rank() + n/2) % n // cross-node peer (node-major placement)
+	near := r.Rank() ^ 1        // same-node peer
+	r.ComputeThen(5*sim.Microsecond, func() {
+		r.BarrierThen(func() {
+			// Rendezvous-sized exchange with the cross-node peer.
+			sreq := r.Isend(far, 7, 64*1024)
+			rreq := r.Irecv(far, 7)
+			r.WaitAllThen(func() {
+				// Intra-node eager send: completes at Isend, so the wait
+				// takes the already-done fast path.
+				r.SendThen(near, 8, 512, func() {
+					r.RecvThen(near, 8, func() {
+						r.SendRecvThen(far, 9, 1024, far, 9, func() {
+							r.AlltoallThen(512, func() {
+								r.AllreduceThen(256, func() {
+									r.AllgatherThen(128, func() {
+										r.BcastThen(0, 2048, func() {
+											r.ReduceThen(0, 2048, func() {
+												// Zero-length compute and an
+												// empty batch wait: both
+												// non-parking fast paths.
+												r.ComputeThen(0, func() {
+													r.WaitAllThen(done)
+												})
+											})
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			}, sreq, rreq)
+		})
+	})
+}
+
+// exerciseBlocking is the blocking transcription of exerciseProgram, used to
+// pin the continuation primitives against the legacy Launch path.
+func exerciseBlocking(r *Rank) {
+	n := r.Size()
+	far := (r.Rank() + n/2) % n
+	near := r.Rank() ^ 1
+	r.Compute(5 * sim.Microsecond)
+	r.Barrier()
+	sreq := r.Isend(far, 7, 64*1024)
+	rreq := r.Irecv(far, 7)
+	r.WaitAll(sreq, rreq)
+	r.Send(near, 8, 512)
+	r.Recv(near, 8)
+	r.SendRecv(far, 9, 1024, far, 9)
+	r.Alltoall(512)
+	r.Allreduce(256)
+	r.Allgather(128)
+	r.Bcast(0, 2048)
+	r.Reduce(0, 2048)
+	r.Compute(0)
+	r.WaitAll()
+}
+
+type campaignResult struct {
+	completedAt sim.Time
+	world       Stats
+	kernel      sim.Stats
+}
+
+// runExerciseCampaign runs the exercise workload on a fresh machine under
+// the given launch mode: "continuation" and "goroutine" use LaunchProgram
+// with the corresponding Config.Runtime, "legacy" uses World.Launch with the
+// blocking transcription.
+func runExerciseCampaign(t *testing.T, mode string) campaignResult {
+	t.Helper()
+	k := sim.NewKernel(42)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 4
+	m := cluster.MustNew(k, cfg)
+	job, err := m.AllocateSpread("prog", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig()
+	if mode == "goroutine" {
+		mcfg.Runtime = RuntimeGoroutine
+	}
+	w := MustNewWorld(m, job, mcfg)
+	if mode == "legacy" {
+		w.Launch(exerciseBlocking)
+	} else {
+		w.LaunchProgram(exerciseProgram)
+	}
+	k.Run()
+	if !w.Done() {
+		t.Fatalf("%s: world did not complete", mode)
+	}
+	at, _ := w.CompletionTime()
+	return campaignResult{completedAt: at, world: w.Stats(), kernel: k.Stats()}
+}
+
+// TestProgramRuntimesByteIdentical pins the tentpole invariant: the same
+// Program produces the identical simulation schedule on the continuation and
+// goroutine runtimes — same completion time, same world counters, and
+// identical kernel counters (events scheduled/fired/pooled/elided and fast
+// resumes) except for ProcSwitches, which only the goroutine runtime incurs.
+func TestProgramRuntimesByteIdentical(t *testing.T) {
+	cont := runExerciseCampaign(t, "continuation")
+	goro := runExerciseCampaign(t, "goroutine")
+	legacy := runExerciseCampaign(t, "legacy")
+
+	if cont.completedAt != goro.completedAt || cont.completedAt != legacy.completedAt {
+		t.Fatalf("completion times diverge: continuation=%v goroutine=%v legacy=%v",
+			cont.completedAt, goro.completedAt, legacy.completedAt)
+	}
+	if cont.world != goro.world || cont.world != legacy.world {
+		t.Fatalf("world stats diverge: continuation=%+v goroutine=%+v legacy=%+v",
+			cont.world, goro.world, legacy.world)
+	}
+	if cont.kernel.ProcSwitches != 0 {
+		t.Fatalf("continuation runtime made %d proc switches, want 0", cont.kernel.ProcSwitches)
+	}
+	if goro.kernel.ProcSwitches == 0 {
+		t.Fatal("goroutine runtime made no proc switches; test is not exercising parking")
+	}
+	if cont.kernel.ProcFastResumes == 0 {
+		t.Fatal("exercise took no non-parking fast paths; test is not exercising them")
+	}
+	normalize := func(s sim.Stats) sim.Stats { s.ProcSwitches = 0; return s }
+	if a, b := normalize(cont.kernel), normalize(goro.kernel); !reflect.DeepEqual(a, b) {
+		t.Fatalf("kernel stats diverge (modulo ProcSwitches):\ncontinuation: %+v\ngoroutine:    %+v", a, b)
+	}
+	if a, b := normalize(cont.kernel), normalize(legacy.kernel); !reflect.DeepEqual(a, b) {
+		t.Fatalf("kernel stats diverge vs legacy Launch (modulo ProcSwitches):\ncontinuation: %+v\nlegacy:       %+v", a, b)
+	}
+}
+
+// TestParseRankRuntime covers CLI validation values.
+func TestParseRankRuntime(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want RankRuntime
+		ok   bool
+	}{
+		{"", RuntimeContinuation, true},
+		{"continuation", RuntimeContinuation, true},
+		{"goroutine", RuntimeGoroutine, true},
+		{"threads", "", false},
+	} {
+		got, err := ParseRankRuntime(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseRankRuntime(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	bad := DefaultConfig()
+	bad.Runtime = "threads"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted unknown runtime")
+	}
+}
+
+// TestProgramFastResumeCounting pins that each non-parking fast path counts
+// exactly once in sim.Stats.ProcFastResumes, on both runtimes.
+func TestProgramFastResumeCounting(t *testing.T) {
+	for _, mode := range []string{"continuation", "goroutine"} {
+		k := sim.NewKernel(7)
+		cfg := cluster.CabConfig()
+		cfg.Net.Nodes = 2
+		m := cluster.MustNew(k, cfg)
+		job, err := m.AllocateSpread("fast", 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcfg := DefaultConfig()
+		if mode == "goroutine" {
+			mcfg.Runtime = RuntimeGoroutine
+		}
+		w := MustNewWorld(m, job, mcfg)
+		w.LaunchProgram(func(r *Rank, done Cont) {
+			if r.Rank() != 0 {
+				done()
+				return
+			}
+			near := 1 // same node (node-major placement)
+			// Step past t=0 first, so the other ranks' start events are gone
+			// and the zero-length compute below sees an idle instant.
+			r.ComputeThen(10*sim.Microsecond, func() {
+				// Intra-node eager send completes at Isend: wait is a fast
+				// resume.
+				req := r.Isend(near, 1, 64)
+				r.WaitThen(req, func() {
+					// Empty batch wait: a fast resume.
+					r.WaitAllThen(func() {
+						// Zero-length compute with an idle instant: a fast
+						// resume.
+						r.ComputeThen(0, done)
+					})
+				})
+			})
+		})
+		k.Run()
+		if !w.Done() {
+			t.Fatalf("%s: world did not complete", mode)
+		}
+		// Rank 1 never posts the matching receive; the eager payload sits in
+		// its unexpected queue, which is fine for this test.
+		if got := k.Stats().ProcFastResumes; got != 3 {
+			t.Errorf("%s: ProcFastResumes = %d, want 3", mode, got)
+		}
+	}
+}
+
+// TestShutdownMixedRuntimes covers the kill handshake over a mixed
+// population: parked goroutine ranks (a legacy Launch world) and suspended
+// continuation ranks (a LaunchProgram world) on one kernel, with worker
+// parallelism enabled in the network — Shutdown must unwind both cleanly.
+func TestShutdownMixedRuntimes(t *testing.T) {
+	k := sim.NewKernel(11)
+	cfg := cluster.CabConfig()
+	cfg.Net.Nodes = 4
+	cfg.Net.Workers = 2
+	m := cluster.MustNew(k, cfg)
+
+	jobA, err := m.AllocateSpread("cps", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wA := MustNewWorld(m, jobA, DefaultConfig())
+	wA.LaunchProgram(func(r *Rank, _ Cont) {
+		peer := (r.Rank() + 2) % r.Size()
+		var loop Cont
+		loop = func() {
+			r.ComputeThen(3*sim.Microsecond, func() {
+				r.SendRecvThen(peer, 5, 4096, peer, 5, loop)
+			})
+		}
+		loop()
+	})
+
+	gcfg := DefaultConfig()
+	gcfg.Runtime = RuntimeGoroutine
+	jobB, err := m.AllocateSpread("goro", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB := MustNewWorld(m, jobB, gcfg)
+	wB.LaunchProgram(func(r *Rank, _ Cont) {
+		peer := (r.Rank() + 1) % r.Size()
+		var loop Cont
+		loop = func() {
+			r.ComputeThen(2*sim.Microsecond, func() {
+				r.SendThen(peer, 6, 1024, func() {
+					r.RecvThen((r.Rank()-1+r.Size())%r.Size(), 6, loop)
+				})
+			})
+		}
+		loop()
+	})
+
+	// A rank parked forever on a receive that never arrives: Shutdown must
+	// kill it without deadlocking.
+	jobC, err := m.AllocateSpread("stuck", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wC := MustNewWorld(m, jobC, gcfg)
+	wC.Launch(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(1, 99)
+		}
+	})
+
+	k.RunUntil(sim.Time(2 * sim.Millisecond))
+	k.Shutdown()
+
+	if wA.Done() || wB.Done() {
+		t.Fatal("endless worlds should not report Done")
+	}
+	if wA.Stats().MessagesSent == 0 || wB.Stats().MessagesSent == 0 {
+		t.Fatal("both worlds should have made progress before shutdown")
+	}
+}

@@ -302,6 +302,18 @@ func (n *Network) DrainBefore(at sim.Time, seq uint64, deadline sim.Time) bool {
 	return true
 }
 
+// PeekKey implements sim.AuxPeeker: it reports the (time, seq) key of the
+// lane's earliest deferred entry, so the kernel's InstantIdle guard can see
+// whether the lane holds work at the current instant before letting a
+// zero-length park be skipped.
+func (n *Network) PeekKey() (sim.Time, uint64, bool) {
+	if n.lane.empty() {
+		return 0, 0, false
+	}
+	key := n.lane.minKey()
+	return sim.Time(key >> laneSeqBits), key & laneMaxSeq, true
+}
+
 // drainGuard drains lane entries ordered before the currently dispatching
 // kernel event.  The kernel already drains the lane before every dispatch
 // and the drain loop handles re-entrant calls, so this is a cheap no-op

@@ -146,7 +146,7 @@ func Launch(m *cluster.Machine, mpiCfg mpisim.Config, cfg Config) (*Probe, error
 	}
 	p := &Probe{cfg: cfg, job: job, world: world, collector: &Collector{}}
 	tasksPerNode := cfg.RanksPerSocket * m.Config().SocketsPerNode
-	world.Launch(func(r *mpisim.Rank) {
+	world.LaunchProgram(func(r *mpisim.Rank, _ mpisim.Cont) {
 		p.run(r, tasksPerNode, nodes)
 	})
 	return p, nil
@@ -154,7 +154,10 @@ func Launch(m *cluster.Machine, mpiCfg mpisim.Config, cfg Config) (*Probe, error
 
 // run is the per-rank ImpactB loop, a direct transcription of the paper's
 // pseudo-code: even nodes initiate a ping-pong with the same core on the next
-// node, odd nodes answer, and each exchange is followed by a pause.
+// node, odd nodes answer, and each exchange is followed by a pause.  The
+// loops are continuation-passing Programs — they run on either rank runtime
+// and never terminate (the caller stops them via Kernel.Shutdown), so the
+// program's done continuation is never invoked.
 func (p *Probe) run(r *mpisim.Rank, tasksPerNode, nodes int) {
 	size := r.Size()
 	myNode := r.Rank() / tasksPerNode
@@ -163,29 +166,37 @@ func (p *Probe) run(r *mpisim.Rank, tasksPerNode, nodes int) {
 	switch {
 	case isInitiator:
 		partner := (r.Rank() + tasksPerNode) % size
-		for {
-			start := r.Now()
+		var start sim.Time
+		var loop, measured mpisim.Cont
+		loop = func() {
+			start = r.Now()
 			sreq := r.Isend(partner, p.cfg.Tag, p.cfg.MessageBytes)
 			rreq := r.Irecv(partner, p.cfg.Tag)
-			r.WaitAll(sreq, rreq)
+			r.WaitAllThen(measured, sreq, rreq)
+		}
+		measured = func() {
 			rtt := r.Now().Sub(start)
 			p.collector.add(r.Now(), rtt/2)
-			r.Sleep(p.cfg.Pause)
+			r.SleepThen(p.cfg.Pause, loop)
 		}
+		loop()
 	case isResponder:
 		// The responder answers each ping only after it arrives, so the
 		// initiator's elapsed time covers two serialized one-way traversals
 		// and elapsed/2 is the one-way packet latency.
 		partner := (r.Rank() - tasksPerNode + size) % size
-		for {
-			r.Recv(partner, p.cfg.Tag)
-			r.Send(partner, p.cfg.Tag, p.cfg.MessageBytes)
+		var loop mpisim.Cont
+		loop = func() {
+			r.RecvThen(partner, p.cfg.Tag, func() {
+				r.SendThen(partner, p.cfg.Tag, p.cfg.MessageBytes, loop)
+			})
 		}
+		loop()
 	default:
 		// Unpaired node (odd node count): stay idle.
-		for {
-			r.Sleep(time100ms)
-		}
+		var loop mpisim.Cont
+		loop = func() { r.SleepThen(time100ms, loop) }
+		loop()
 	}
 }
 

@@ -119,12 +119,20 @@ func (p *Proc) Rand() *rand.Rand {
 	return p.rng
 }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time.  A zero-length sleep
+// with nothing else ordered at the current instant (Kernel.InstantIdle)
+// returns immediately instead of parking: the dispatch event it would have
+// posted would fire as the very next action anyway, so skipping it leaves
+// the schedule unchanged and saves the park/dispatch round-trip.
 func (p *Proc) Sleep(d Duration) {
-	if d < 0 {
+	k := p.k
+	if d <= 0 {
+		if k.InstantIdle() {
+			k.NoteFastResume()
+			return
+		}
 		d = 0
 	}
-	k := p.k
 	k.PostAt(k.now.Add(d), p.dispatchFn)
 	p.pause()
 }

@@ -143,6 +143,11 @@ type Stats struct {
 	EventsElided uint64
 	// ProcSwitches is the number of kernel-to-process control transfers.
 	ProcSwitches uint64
+	// ProcFastResumes is the number of non-parking process fast paths taken
+	// instead of a park/dispatch cycle: waits on already-complete operations,
+	// waits with zero pending requests, and zero-length sleeps resumed inline
+	// under the InstantIdle guard.
+	ProcFastResumes uint64
 }
 
 // eventRing is a growable FIFO of events scheduled for the current instant;
@@ -242,6 +247,51 @@ func (k *Kernel) Stats() Stats { return k.stats }
 // lane instead of scheduling them as kernel events.  It only feeds the
 // EventsElided statistic; it has no effect on execution.
 func (k *Kernel) NoteElided(n uint64) { k.stats.EventsElided += n }
+
+// NoteFastResume records one taken non-parking process fast path: a wait on
+// an already-complete operation, a wait with zero pending requests, or a
+// zero-length sleep resumed inline under the InstantIdle guard.  It only
+// feeds the ProcFastResumes statistic; it has no effect on execution.
+func (k *Kernel) NoteFastResume() { k.stats.ProcFastResumes++ }
+
+// AuxPeeker is optionally implemented by an AuxQueue that can report the
+// (time, seq) key of its earliest deferred entry.  InstantIdle consults it;
+// a lane that does not implement the method is conservatively treated as
+// possibly holding same-instant work.
+type AuxPeeker interface {
+	// PeekKey returns the key of the earliest deferred entry and whether one
+	// exists.
+	PeekKey() (Time, uint64, bool)
+}
+
+// InstantIdle reports whether nothing further is ordered at the current
+// instant: the same-instant ring is empty, the earliest heap event (if any)
+// lies strictly in the future, and the attached deferred lane (if any) holds
+// no entry at or before now.  When it holds, an event posted now would fire
+// as the very next action with no intervening work, so a client may instead
+// run its continuation inline: the only change to the schedule is that every
+// later sequence number shifts down by one — uniformly, which preserves all
+// relative (time, seq) orderings — and the park/dispatch round-trip is saved.
+// Cancelled heap events and non-peekable lanes make the answer conservatively
+// false.
+func (k *Kernel) InstantIdle() bool {
+	if k.nowq.n > 0 {
+		return false
+	}
+	if len(k.events) > 0 && k.events[0].e.at <= k.now {
+		return false
+	}
+	if k.aux != nil {
+		p, ok := k.aux.(AuxPeeker)
+		if !ok {
+			return false
+		}
+		if at, _, have := p.PeekKey(); have && at <= k.now {
+			return false
+		}
+	}
+	return true
+}
 
 // AllocSeq hands out the next event sequence number without scheduling
 // anything.  A client that runs its own deferred event lane (netsim's

@@ -32,17 +32,24 @@ func (f *FFTW) Name() string { return "FFTW" }
 // Placement implements App: 4 ranks per socket on every node.
 func (f *FFTW) Placement(nodes int) (int, int) { return 4, nodes }
 
-// Iterate implements App: transpose, local FFTs, transpose back, local FFTs.
-func (f *FFTW) Iterate(r *mpisim.Rank, iter int) {
+// Iterate implements App (blocking form of IterateThen).
+func (f *FFTW) Iterate(r *mpisim.Rank, iter int) { iterate(f, r, iter) }
+
+// IterateThen implements App: transpose, local FFTs, transpose back, local
+// FFTs.
+func (f *FFTW) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	n := r.Size()
 	perPair := int(f.TotalBytes / float64(n) / float64(n))
 	if perPair < 1 {
 		perPair = 1
 	}
-	r.Alltoall(perPair)
-	r.Compute(f.ComputePerPhase)
-	r.Alltoall(perPair)
-	r.Compute(f.ComputePerPhase)
+	r.AlltoallThen(perPair, func() {
+		r.ComputeThen(f.ComputePerPhase, func() {
+			r.AlltoallThen(perPair, func() {
+				r.ComputeThen(f.ComputePerPhase, k)
+			})
+		})
+	})
 }
 
 // VPFFT models the elasto-viscoplastic crystal plasticity solver: like FFTW
@@ -80,8 +87,11 @@ func (v *VPFFT) Name() string { return "VPFFT" }
 // Placement implements App: 4 ranks per socket on every node.
 func (v *VPFFT) Placement(nodes int) (int, int) { return 4, nodes }
 
-// Iterate implements App.
-func (v *VPFFT) Iterate(r *mpisim.Rank, iter int) {
+// Iterate implements App (blocking form of IterateThen).
+func (v *VPFFT) Iterate(r *mpisim.Rank, iter int) { iterate(v, r, iter) }
+
+// IterateThen implements App.
+func (v *VPFFT) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	n := r.Size()
 	perPair := int(v.TotalBytes / float64(n) / float64(n))
 	if perPair < 1 {
@@ -94,9 +104,13 @@ func (v *VPFFT) Iterate(r *mpisim.Rank, iter int) {
 	factor := 1 + v.ComputeSpread*(2*phase-1)
 	compute := sim.Duration(float64(v.ComputePerPhase) * factor)
 
-	r.Alltoall(perPair)
-	r.Compute(compute)
-	r.Alltoall(perPair)
-	r.Compute(compute)
-	r.Allreduce(v.ConvergenceBytes)
+	r.AlltoallThen(perPair, func() {
+		r.ComputeThen(compute, func() {
+			r.AlltoallThen(perPair, func() {
+				r.ComputeThen(compute, func() {
+					r.AllreduceThen(v.ConvergenceBytes, k)
+				})
+			})
+		})
+	})
 }

@@ -43,22 +43,33 @@ func (m *MCB) Name() string { return "MCB" }
 // Placement implements App: 4 ranks per socket on every node.
 func (m *MCB) Placement(nodes int) (int, int) { return 4, nodes }
 
-// Iterate implements App.
-func (m *MCB) Iterate(r *mpisim.Rank, iter int) {
-	// Long tracking phase.
-	r.Compute(m.TrackingCompute)
-	// Particle migration with the two ring neighbors.
+// Iterate implements App (blocking form of IterateThen).
+func (m *MCB) Iterate(r *mpisim.Rank, iter int) { iterate(m, r, iter) }
+
+// IterateThen implements App.
+func (m *MCB) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	n := r.Size()
-	if n > 1 {
-		neighbors := []int{(r.Rank() + 1) % n, (r.Rank() - 1 + n) % n}
-		haloExchange(r, neighbors, m.MigrationBytes, 500)
-	}
 	// Periodic census: a burst of larger exchanges plus a tally reduction.
-	if m.CensusInterval > 0 && (iter+1)%m.CensusInterval == 0 && n > 1 {
-		burst := gridNeighbors(r.Rank(), n, 2)
-		haloExchange(r, burst, m.CensusBytes, 600)
-		r.Allreduce(m.CensusReduceBytes)
+	census := func() {
+		if m.CensusInterval > 0 && (iter+1)%m.CensusInterval == 0 && n > 1 {
+			burst := gridNeighbors(r.Rank(), n, 2)
+			haloExchangeThen(r, burst, m.CensusBytes, 600, func() {
+				r.AllreduceThen(m.CensusReduceBytes, k)
+			})
+			return
+		}
+		r.Continue(k)
 	}
+	// Long tracking phase, then particle migration with the two ring
+	// neighbors.
+	r.ComputeThen(m.TrackingCompute, func() {
+		if n > 1 {
+			neighbors := []int{(r.Rank() + 1) % n, (r.Rank() - 1 + n) % n}
+			haloExchangeThen(r, neighbors, m.MigrationBytes, 500, census)
+			return
+		}
+		census()
+	})
 }
 
 // AMG models the algebraic multigrid solver from hypre: every iteration is a
@@ -104,32 +115,60 @@ func (a *AMG) Name() string { return "AMG" }
 // Placement implements App: 4 ranks per socket on every node.
 func (a *AMG) Placement(nodes int) (int, int) { return 4, nodes }
 
-// Iterate implements App: one V-cycle, occasionally followed by a dense
+// Iterate implements App (blocking form of IterateThen).
+func (a *AMG) Iterate(r *mpisim.Rank, iter int) { iterate(a, r, iter) }
+
+// IterateThen implements App: one V-cycle, occasionally followed by a dense
 // phase.
-func (a *AMG) Iterate(r *mpisim.Rank, iter int) {
+func (a *AMG) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	neighbors := gridNeighbors(r.Rank(), r.Size(), 3)
 	halo := a.FineHaloBytes
 	compute := a.FineCompute
-	// Down-sweep.
-	for level := 0; level < a.Levels; level++ {
-		r.Compute(compute)
-		haloExchange(r, neighbors, maxInt(halo, 1), 700+level)
-		halo /= 2
-		compute /= 2
+	level := 0
+	upLevel := 0
+	var down, exchanged, coarse, up mpisim.Cont
+	// Down-sweep: smoother compute plus a halo exchange per level.
+	down = func() {
+		if level >= a.Levels {
+			coarse()
+			return
+		}
+		r.ComputeThen(compute, exchanged)
+	}
+	exchanged = func() {
+		haloExchangeThen(r, neighbors, maxInt(halo, 1), 700+level, func() {
+			halo /= 2
+			compute /= 2
+			level++
+			down()
+		})
 	}
 	// Coarsest solve.
-	r.Compute(compute)
-	r.Allreduce(a.CoarseReduceBytes)
+	coarse = func() {
+		r.ComputeThen(compute, func() {
+			r.AllreduceThen(a.CoarseReduceBytes, func() {
+				upLevel = a.Levels - 1
+				up()
+			})
+		})
+	}
 	// Up-sweep: the interpolation transfers overlap with the smoother, so the
-	// up-sweep contributes computation but no blocking halo exchanges.
-	for level := a.Levels - 1; level >= 0; level-- {
+	// up-sweep contributes computation but no blocking halo exchanges; then
+	// the occasional dense, communication-free phase.
+	up = func() {
+		if upLevel < 0 {
+			if a.DensePhaseInterval > 0 && (iter+1)%a.DensePhaseInterval == 0 {
+				r.ComputeThen(a.DensePhaseCompute, k)
+				return
+			}
+			r.Continue(k)
+			return
+		}
 		compute *= 2
-		r.Compute(compute)
+		upLevel--
+		r.ComputeThen(compute, up)
 	}
-	// Occasional dense, communication-free phase.
-	if a.DensePhaseInterval > 0 && (iter+1)%a.DensePhaseInterval == 0 {
-		r.Compute(a.DensePhaseCompute)
-	}
+	down()
 }
 
 func maxInt(a, b int) int {

@@ -47,14 +47,21 @@ func (l *Lulesh) Placement(nodes int) (int, int) {
 	return 2, use
 }
 
-// Iterate implements App.
-func (l *Lulesh) Iterate(r *mpisim.Rank, iter int) {
+// Iterate implements App (blocking form of IterateThen).
+func (l *Lulesh) Iterate(r *mpisim.Rank, iter int) { iterate(l, r, iter) }
+
+// IterateThen implements App.
+func (l *Lulesh) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	neighbors := gridNeighbors(r.Rank(), r.Size(), 3)
-	haloExchange(r, neighbors, l.HaloBytes, 100)
-	r.Compute(l.ComputePerPhase)
-	haloExchange(r, neighbors, l.ForceHaloBytes, 200)
-	r.Compute(l.ComputePerPhase)
-	r.Allreduce(l.ReduceBytes)
+	haloExchangeThen(r, neighbors, l.HaloBytes, 100, func() {
+		r.ComputeThen(l.ComputePerPhase, func() {
+			haloExchangeThen(r, neighbors, l.ForceHaloBytes, 200, func() {
+				r.ComputeThen(l.ComputePerPhase, func() {
+					r.AllreduceThen(l.ReduceBytes, k)
+				})
+			})
+		})
+	})
 }
 
 // MILC models the MIMD Lattice Computation conjugate-gradient solver
@@ -89,12 +96,20 @@ func (m *MILC) Name() string { return "MILC" }
 // Placement implements App: 4 ranks per socket on every node.
 func (m *MILC) Placement(nodes int) (int, int) { return 4, nodes }
 
-// Iterate implements App: two Dslash halo exchanges plus the CG reduction.
-func (m *MILC) Iterate(r *mpisim.Rank, iter int) {
+// Iterate implements App (blocking form of IterateThen).
+func (m *MILC) Iterate(r *mpisim.Rank, iter int) { iterate(m, r, iter) }
+
+// IterateThen implements App: two Dslash halo exchanges plus the CG
+// reduction.
+func (m *MILC) IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont) {
 	neighbors := gridNeighbors(r.Rank(), r.Size(), 4)
-	haloExchange(r, neighbors, m.HaloBytes, 300)
-	r.Compute(m.ComputePerPhase)
-	haloExchange(r, neighbors, m.HaloBytes, 400)
-	r.Compute(m.ComputePerPhase)
-	r.Allreduce(m.ReduceBytes)
+	haloExchangeThen(r, neighbors, m.HaloBytes, 300, func() {
+		r.ComputeThen(m.ComputePerPhase, func() {
+			haloExchangeThen(r, neighbors, m.HaloBytes, 400, func() {
+				r.ComputeThen(m.ComputePerPhase, func() {
+					r.AllreduceThen(m.ReduceBytes, k)
+				})
+			})
+		})
+	})
 }

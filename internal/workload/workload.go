@@ -33,9 +33,14 @@ import (
 	"github.com/hpcperf/switchprobe/internal/sim"
 )
 
-// App is one application model.  Iterate is executed by every rank in a
-// loop; the measurement harness times iterations to obtain the application's
-// performance under different network conditions.
+// App is one application model.  One outer iteration is executed by every
+// rank in a loop; the measurement harness times iterations to obtain the
+// application's performance under different network conditions.  IterateThen
+// is the primary form — a continuation-passing body that runs on either rank
+// runtime — and Iterate is its blocking wrapper for goroutine-backed ranks
+// (every model implements Iterate by driving IterateThen through
+// mpisim.Rank.RunInline, so the two are the same operations by
+// construction).
 type App interface {
 	// Name is the application's short name (e.g. "FFTW").
 	Name() string
@@ -43,10 +48,13 @@ type App interface {
 	// application given the number of nodes attached to the switch:
 	// ranks-per-socket and how many of the nodes to use.
 	Placement(nodes int) (ranksPerSocket, useNodes int)
-	// Iterate runs one outer iteration of the application on rank r.
-	// iter is the iteration index (some applications change behaviour
-	// across iterations, e.g. AMG's phases).
+	// Iterate runs one outer iteration of the application on rank r, which
+	// must be goroutine-backed.  iter is the iteration index (some
+	// applications change behaviour across iterations, e.g. AMG's phases).
 	Iterate(r *mpisim.Rank, iter int)
+	// IterateThen runs one outer iteration on rank r in continuation-passing
+	// style, continuing with k when the iteration completes.
+	IterateThen(r *mpisim.Rank, iter int, k mpisim.Cont)
 }
 
 // Scale adjusts problem sizes so the models can run at paper scale or at a
@@ -134,18 +142,25 @@ func ByName(name string, s Scale) (App, error) {
 
 // --- shared communication building blocks ----------------------------------
 
-// haloExchange posts non-blocking sends and receives of size bytes with every
-// neighbor and waits for all of them, the standard stencil boundary exchange.
-// All messages of one exchange share the same tag and are disambiguated by
-// their source rank, so the two sides of each pair need not enumerate their
-// neighbors in the same order.
-func haloExchange(r *mpisim.Rank, neighbors []int, size, tag int) {
+// haloExchangeThen posts non-blocking sends and receives of size bytes with
+// every neighbor and waits for all of them, then continues with k — the
+// standard stencil boundary exchange.  All messages of one exchange share the
+// same tag and are disambiguated by their source rank, so the two sides of
+// each pair need not enumerate their neighbors in the same order.
+func haloExchangeThen(r *mpisim.Rank, neighbors []int, size, tag int, k mpisim.Cont) {
 	reqs := make([]*mpisim.Request, 0, 2*len(neighbors))
 	for _, nb := range neighbors {
 		reqs = append(reqs, r.Irecv(nb, tag))
 		reqs = append(reqs, r.Isend(nb, tag, size))
 	}
-	r.WaitAll(reqs...)
+	r.WaitAllThen(k, reqs...)
+}
+
+// iterate is the shared blocking wrapper behind every model's Iterate: it
+// drives the continuation-passing IterateThen to completion on a
+// goroutine-backed rank.
+func iterate(a App, r *mpisim.Rank, iter int) {
+	r.RunInline(func(done mpisim.Cont) { a.IterateThen(r, iter, done) })
 }
 
 // gridNeighbors returns the 2*dims neighbors of rank in a periodic Cartesian
