@@ -1,6 +1,6 @@
 // Command benchjson runs the repository's Go benchmarks and writes the
 // results as machine-readable JSON, so the performance trajectory of the
-// simulator is tracked in-repo (BENCH_PR7.json, and its predecessors per
+// simulator is tracked in-repo (BENCH_PR8.json, and its predecessors per
 // PR) instead of in commit messages.
 //
 // Usage:
@@ -12,7 +12,8 @@
 // are exactly what a developer reproduces by hand), parses the standard
 // benchmark output format including custom b.ReportMetric columns (the
 // headline benchmarks report events_fired/op, events_elided/op,
-// rank_switches/op, fast_resumes/op and events/s), and writes:
+// rank_switches/op, fast_resumes/op, trains_walked/op, pkts_per_train and
+// events/s), and writes:
 //
 //	{
 //	  "preset": "ci",
@@ -49,7 +50,7 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR7.json.
+// Report is the file layout of BENCH_PR8.json.
 type Report struct {
 	Preset     string                 `json:"preset"`
 	Go         string                 `json:"go"`
@@ -57,11 +58,11 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|Table1GoroutineRanks|SchedCampaign|BulkTraffic", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|Table1GoroutineRanks|Table1TrainFused|Table1NoTrainFuse|SchedCampaign|BulkTraffic", "benchmark regexp passed to go test -bench")
 	preset := flag.String("preset", "ci", "SWITCHPROBE_BENCH_PRESET for the run (ci, default or paper)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value; the minimum ns/op across repetitions is reported")
-	out := flag.String("out", "BENCH_PR7.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON file")
 	flag.Parse()
 
 	report, err := run(*bench, *preset, *benchtime, *count)

@@ -409,7 +409,7 @@ func runCalibrate(o Options) (Calibration, error) {
 	if err != nil {
 		return Calibration{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	svc, err := queuing.CalibrateFromIdle(pr.Collector().Latencies())
 	if err != nil {
 		return Calibration{}, err
@@ -606,7 +606,7 @@ func runAppImpact(o Options, cal Calibration, app workload.App, slot Slot) (Sign
 	if _, err := launchAppLoop(m, o, app, app.Name(), slot); err != nil {
 		return Signature{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	return o.signatureFrom(app.Name(), pr.Collector(), &cal)
 }
 
@@ -635,7 +635,7 @@ func runInjectorImpact(o Options, cal Calibration, cfg inject.Config) (Signature
 	if _, err := inject.Launch(m, o.MPI, cfg); err != nil {
 		return Signature{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	return o.signatureFrom(cfg.Label(), pr.Collector(), &cal)
 }
 
@@ -666,7 +666,7 @@ func runBaseline(o Options, app workload.App, slot Slot) (Runtime, error) {
 	if err != nil {
 		return Runtime{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	return ar.runtime(o)
 }
 
@@ -701,7 +701,7 @@ func runCompress(o Options, app workload.App, cfg inject.Config, slot Slot) (Run
 	if err != nil {
 		return Runtime{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	return ar.runtime(o)
 }
 
@@ -759,7 +759,7 @@ func measureAppPair(o Options, label string, appA, appB workload.App, slotA, slo
 	if err != nil {
 		return Runtime{}, Runtime{}, err
 	}
-	runWindow(k, o.Window)
+	runWindow(k, m.Network(), o.Window)
 	ra, err := runA.runtime(o)
 	if err != nil {
 		return Runtime{}, Runtime{}, err

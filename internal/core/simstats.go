@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/sim"
 )
 
@@ -24,8 +25,15 @@ type SimUsage struct {
 	EventsElided    int64
 	ProcSwitches    int64
 	ProcFastResumes int64
-	VirtualNS       int64
-	WallNS          int64
+	// Relaxed-engine train fusion telemetry (netsim.Stats): fused trains,
+	// the packets they carried, fusion attempts cut short, and credit
+	// releases clamped to keep port ledgers sorted.
+	TrainsWalked int64
+	TrainPackets int64
+	TrainAborts  int64
+	LedgerClamps int64
+	VirtualNS    int64
+	WallNS       int64
 }
 
 // EventsPerSecond returns the mean events-per-wall-second throughput of one
@@ -58,10 +66,16 @@ func (u SimUsage) String() string {
 	if u.EventsFired+u.EventsElided > 0 {
 		elidedPct = 100 * float64(u.EventsElided) / float64(u.EventsFired+u.EventsElided)
 	}
+	pktsPerTrain := 0.0
+	if u.TrainsWalked > 0 {
+		pktsPerTrain = float64(u.TrainPackets) / float64(u.TrainsWalked)
+	}
 	return fmt.Sprintf(
-		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM fast resumes, %.2fM events/s/run, %.1fx real time",
+		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM fast resumes, %.2fM trains (%.1f pkts/train, %.2fM aborts, %d clamps), %.2fM events/s/run, %.1fx real time",
 		u.Runs, float64(u.EventsFired)/1e6, float64(u.EventsElided)/1e6, elidedPct, pooledPct, fastPct,
-		float64(u.ProcSwitches)/1e6, float64(u.ProcFastResumes)/1e6, u.EventsPerSecond()/1e6, u.RealTimeFactor())
+		float64(u.ProcSwitches)/1e6, float64(u.ProcFastResumes)/1e6,
+		float64(u.TrainsWalked)/1e6, pktsPerTrain, float64(u.TrainAborts)/1e6, u.LedgerClamps,
+		u.EventsPerSecond()/1e6, u.RealTimeFactor())
 }
 
 // simUsage is the process-wide accumulator.  Measurement runs execute
@@ -77,12 +91,17 @@ var simUsage struct {
 	eventsElided    atomic.Int64
 	procSwitches    atomic.Int64
 	procFastResumes atomic.Int64
+	trainsWalked    atomic.Int64
+	trainPackets    atomic.Int64
+	trainAborts     atomic.Int64
+	ledgerClamps    atomic.Int64
 	virtualNS       atomic.Int64
 	wallNS          atomic.Int64
 }
 
-// recordRun folds one finished kernel's counters into the accumulator.
-func recordRun(k *sim.Kernel, wall time.Duration) {
+// recordRun folds one finished kernel's counters into the accumulator, plus
+// the run's network-layer execution telemetry when a network is attached.
+func recordRun(k *sim.Kernel, net *netsim.Network, wall time.Duration) {
 	st := k.Stats()
 	simUsage.runs.Add(1)
 	simUsage.eventsScheduled.Add(int64(st.EventsScheduled))
@@ -93,6 +112,17 @@ func recordRun(k *sim.Kernel, wall time.Duration) {
 	simUsage.fastPathEvents.Add(int64(st.FastPathEvents))
 	simUsage.procSwitches.Add(int64(st.ProcSwitches))
 	simUsage.procFastResumes.Add(int64(st.ProcFastResumes))
+	if net != nil {
+		ns := net.Stats()
+		simUsage.trainsWalked.Add(ns.TrainsWalked)
+		simUsage.trainPackets.Add(ns.TrainPackets)
+		var aborts int64
+		for _, v := range ns.TrainAborts {
+			aborts += v
+		}
+		simUsage.trainAborts.Add(aborts)
+		simUsage.ledgerClamps.Add(ns.LedgerClamps)
+	}
 	simUsage.virtualNS.Add(int64(k.Now()))
 	simUsage.wallNS.Add(wall.Nanoseconds())
 }
@@ -110,6 +140,10 @@ func SimUsageSnapshot() SimUsage {
 		EventsElided:    simUsage.eventsElided.Load(),
 		ProcSwitches:    simUsage.procSwitches.Load(),
 		ProcFastResumes: simUsage.procFastResumes.Load(),
+		TrainsWalked:    simUsage.trainsWalked.Load(),
+		TrainPackets:    simUsage.trainPackets.Load(),
+		TrainAborts:     simUsage.trainAborts.Load(),
+		LedgerClamps:    simUsage.ledgerClamps.Load(),
 		VirtualNS:       simUsage.virtualNS.Load(),
 		WallNS:          simUsage.wallNS.Load(),
 	}
@@ -127,15 +161,20 @@ func ResetSimUsage() {
 	simUsage.eventsElided.Store(0)
 	simUsage.procSwitches.Store(0)
 	simUsage.procFastResumes.Store(0)
+	simUsage.trainsWalked.Store(0)
+	simUsage.trainPackets.Store(0)
+	simUsage.trainAborts.Store(0)
+	simUsage.ledgerClamps.Store(0)
 	simUsage.virtualNS.Store(0)
 	simUsage.wallNS.Store(0)
 }
 
 // runWindow drives one measurement kernel to the end of its window, shuts it
-// down and records its activity counters.
-func runWindow(k *sim.Kernel, window sim.Duration) {
+// down and records its activity counters along with the machine network's
+// execution telemetry.
+func runWindow(k *sim.Kernel, net *netsim.Network, window sim.Duration) {
 	start := time.Now()
 	k.RunUntil(sim.Time(window))
 	k.Shutdown()
-	recordRun(k, time.Since(start))
+	recordRun(k, net, time.Since(start))
 }

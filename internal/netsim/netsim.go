@@ -28,7 +28,7 @@ package netsim
 
 import (
 	"fmt"
-
+	"math/bits"
 	"math/rand"
 	"os"
 	"strconv"
@@ -97,7 +97,21 @@ type Config struct {
 	// Workers value — which is why Workers is deliberately EXCLUDED from
 	// Fingerprint: it is an execution knob, not a model parameter.
 	Workers int
+	// NoTrainFuse disables the relaxed engine's train fusion (relaxed.go):
+	// NIC drains fall back to the per-packet pick/walk loop, which is the
+	// oracle the fused path must reproduce byte-for-byte.  Fusion is a pure
+	// wall-clock knob — fused and unfused runs emit identical schedules for
+	// every seed and every Workers value — so like Workers it is deliberately
+	// EXCLUDED from Fingerprint and does not bump ModelVersion: cached
+	// artifacts stay valid either way.  The NoTrainFuseEnv environment
+	// variable forces it on process-wide.
+	NoTrainFuse bool
 }
+
+// NoTrainFuseEnv is the environment kill switch for relaxed-mode train
+// fusion: any non-empty value makes every Network behave as if
+// Config.NoTrainFuse were set (per-packet oracle drains).
+const NoTrainFuseEnv = "SWITCHPROBE_NO_TRAIN_FUSE"
 
 // CabConfig returns a configuration modelled after one bottom-level switch of
 // LLNL's Cab cluster: 18 nodes, ~5 GB/s links, ~1.25 µs idle one-way packet
@@ -139,8 +153,10 @@ func (c Config) Fingerprint() string {
 		c.EgressBufferBytes,
 		TopologyFingerprint(c.topology()),
 		order)
-	// Config.Workers is intentionally absent: parallel relaxed execution is
-	// byte-identical to sequential, so it must not fork the artifact space.
+	// Config.Workers and Config.NoTrainFuse are intentionally absent:
+	// parallel relaxed execution and train fusion are both byte-identical to
+	// the sequential per-packet engine, so they must not fork the artifact
+	// space.
 	return b.String()
 }
 
@@ -325,14 +341,16 @@ type sender interface {
 type flowQueue struct {
 	flow Flow
 	q    pktQueue
+	// idx is the queue's position in nic.queues and its bit in nic.active;
+	// fixed for the queue's lifetime (queues are only ever appended).
+	idx int
 	// rng is the flow's private delay substream (relaxed mode), seeded
-	// deterministically from (root seed, source node, class, id) on first
-	// use; unseeded in strict mode, which draws from the shared stream.
-	// It is a sim.Substream rather than math/rand: walks draw one fabric
-	// delay per packet-hop, and the splitmix64 step is several times
-	// cheaper per draw.
-	rng     sim.Substream
-	rngInit bool
+	// deterministically from (root seed, source node, class, id) when the
+	// queue is created; unseeded in strict mode, which draws from the
+	// shared stream.  It is a sim.Substream rather than math/rand: walks
+	// draw one fabric delay per packet-hop, and the splitmix64 step is
+	// several times cheaper per draw.
+	rng sim.Substream
 	// exprPending marks a head that was express-eligible (expressHeads) but
 	// denied buffer admission: it keeps its express pick — at the port
 	// wake's instant, not the drain cursor's — when credits return.
@@ -376,12 +394,57 @@ type nic struct {
 	parked     bool
 	dirty      bool // queued on the network's same-instant batch-drain list
 	waitingOn  []*SwitchPort
+	// active is the bitmap of non-empty flow queues (bit fq.idx set iff
+	// fq.q holds packets), maintained at every queue push/pop.  Arbitration
+	// scans walk its set bits instead of the full queue list, so pick cost
+	// scales with the number of flows that actually hold traffic — and the
+	// word-ordered scan visits exactly the indices the full scan would, so
+	// round-robin order (and with it waiter registration order) is
+	// unchanged.
+	active []uint64
 	// crossQueued counts queued packets whose walk would leave the NIC's
 	// leaf domain (maintained at enqueue/pick time, relaxed mode only).  A
 	// parked NIC with crossQueued == 0 is confined to its own leaf's ports,
 	// which is what lets advance windows partition by leaf and run on
 	// worker goroutines (workers.go).
 	crossQueued int
+	// trainHS is drainTrain's per-segment hop-state scratch.  It lives on
+	// the nic rather than the fused walk's stack so the array is not
+	// re-zeroed on every train (segment loads overwrite every field); a NIC
+	// is drained by exactly one goroutine at a time — the coordinator or
+	// its leaf's worker — so the scratch is never shared.
+	trainHS [maxTrainHops]trainHop
+}
+
+// markActive records that queue idx holds packets.
+func (nc *nic) markActive(idx int) { nc.active[idx>>6] |= 1 << (uint(idx) & 63) }
+
+// clearActive records that queue idx ran empty.
+func (nc *nic) clearActive(idx int) { nc.active[idx>>6] &^= 1 << (uint(idx) & 63) }
+
+// nextActive returns the index of the first non-empty flow queue in
+// [from, limit), or -1 when the range holds none.  Scanning a wrapped
+// round-robin window is two calls: [cursor, len) then [0, cursor).
+func (nc *nic) nextActive(from, limit int) int {
+	if from >= limit {
+		return -1
+	}
+	w := from >> 6
+	word := nc.active[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= limit {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w<<6 >= limit {
+			return -1
+		}
+		word = nc.active[w]
+	}
 }
 
 // isWaitingOn reports whether the NIC is already queued in pt's relaxed
@@ -519,10 +582,12 @@ type Network struct {
 	deliverFn    func(any)
 
 	// relaxed selects the schedule-relaxed execution mode (relaxed.go);
-	// lookahead bounds how far ahead of the kernel clock a NIC drain may
-	// commit; the callbacks are its kernel-event fallbacks for when the
-	// lane is unavailable.
+	// fuse enables its train-fused drains (Config.NoTrainFuse and the
+	// NoTrainFuseEnv kill switch clear it); lookahead bounds how far ahead
+	// of the kernel clock a NIC drain may commit; the callbacks are its
+	// kernel-event fallbacks for when the lane is unavailable.
 	relaxed         bool
+	fuse            bool
 	lookahead       sim.Duration
 	serResidual     sim.Duration
 	workers         int
@@ -567,6 +632,7 @@ type Network struct {
 	stallEvents      int64
 	cutThroughEvents int64
 	parallelWindows  int64
+	trains           trainStats
 }
 
 // New creates a network attached to kernel k.
@@ -599,7 +665,14 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n.nics = append(n.nics, &nic{node: i, link: link, byFlow: make(map[Flow]*flowQueue)})
+		n.nics = append(n.nics, &nic{
+			node: i, link: link, byFlow: make(map[Flow]*flowQueue),
+			// Pre-size the stall bookkeeping: a NIC rarely waits on more
+			// than a couple of ports at once, and growing these on the
+			// drain path was a measurable share of relaxed-mode allocs.
+			waitingOn: make([]*SwitchPort, 0, 4),
+			active:    make([]uint64, 1),
+		})
 		n.egress = append(n.egress, n.newPort(fmt.Sprintf("down%d", i), i, link, queueCap))
 	}
 	for _, spec := range layout.Trunks {
@@ -646,6 +719,7 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	n.portDoneFn = func(a any) { n.portDone(a.(*packet)) }
 	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
 	n.relaxed = !cfg.StrictOrder
+	n.fuse = n.relaxed && !cfg.NoTrainFuse && os.Getenv(NoTrainFuseEnv) == ""
 	n.workers = cfg.Workers
 	n.relaxDeliverFn = func(a any) { n.relaxedDeliver(a.(*packet), n.k.Now()) }
 	n.relaxCompleteFn = func(a any) { n.relaxedComplete(a.(*packet), n.k.Now()) }
@@ -670,6 +744,10 @@ func (n *Network) newPort(label string, node int, link Link, queueCap int) *Swit
 		queue:    pktQueue{buf: make([]*packet, 0, queueCap)},
 		waiting:  make(map[sender]bool),
 		idx:      int32(len(n.ports)),
+		// Pre-size the relaxed-mode credit ledger and waiter FIFO so the
+		// steady-state drain path appends without touching the allocator.
+		led:        relLedger{q: make([]release, 0, 32)},
+		relWaiters: make([]*nic, 0, 4),
 	}
 	n.ports = append(n.ports, pt)
 	return pt
@@ -820,6 +898,7 @@ func (n *Network) sendSegmented(src, dst, size int, flow Flow, ms *messageState)
 			nc.crossQueued++
 		}
 	}
+	nc.markActive(fq.idx)
 	n.pump(nc)
 	return nil
 }
@@ -862,9 +941,26 @@ func (n *Network) flowQueueFor(src int, flow Flow) (*nic, *flowQueue) {
 	}
 	fq := nc.byFlow[flow]
 	if fq == nil {
-		fq = &flowQueue{flow: flow, exprSeen: -1}
+		fq = &flowQueue{flow: flow, exprSeen: -1, idx: len(nc.queues)}
+		if n.relaxed {
+			// Seed the flow's private delay substream now rather than at its
+			// first walk: the fused train path reads fq.rng directly, and an
+			// eager seed keeps the whole derivation allocation-free (the name
+			// is assembled in a stack buffer, never materialized as a string).
+			var nb [64]byte
+			b := append(nb[:0], "flow/"...)
+			b = strconv.AppendInt(b, int64(src), 10)
+			b = append(b, '/')
+			b = append(b, flow.Class...)
+			b = append(b, '/')
+			b = strconv.AppendInt(b, int64(flow.ID), 10)
+			fq.rng = n.k.NewSubstreamBytes(b)
+		}
 		nc.byFlow[flow] = fq
 		nc.queues = append(nc.queues, fq)
+		if len(nc.queues) > len(nc.active)*64 {
+			nc.active = append(nc.active, 0)
+		}
 	}
 	nc.lastFq = fq
 	return nc, fq
@@ -877,6 +973,7 @@ func (n *Network) inject(p *packet) {
 	if n.relaxed && n.crossLeaf(p) {
 		nc.crossQueued++
 	}
+	nc.markActive(fq.idx)
 	n.pump(nc)
 }
 
@@ -911,6 +1008,9 @@ func (n *Network) tryStartUplink(nc *nic) {
 			continue
 		}
 		chosen = fq.q.pop()
+		if fq.q.empty() {
+			nc.clearActive(idx)
+		}
 		nc.next = idx + 1
 		if nc.next == total {
 			nc.next = 0
@@ -1117,6 +1217,22 @@ type Stats struct {
 	// goroutines (Config.Workers > 1 and the window partitioned by leaf).
 	// Execution telemetry only: it never affects the simulated schedule.
 	ParallelWindows int64
+	// TrainsWalked and TrainPackets count the fused same-flow packet trains
+	// the relaxed engine advanced in one pass and the packets they carried.
+	// Execution telemetry only (like ParallelWindows): fusion is byte-
+	// identical to the per-packet walk, so these never affect the schedule.
+	TrainsWalked int64
+	TrainPackets int64
+	// TrainAborts counts fusion attempts cut short, keyed by cause: "wake"
+	// (a wake-exempt competitor's admission came due mid-train), "probe"
+	// (head packet carries a delivery observer), "route" (route longer than
+	// the fused walk's fixed-size hop state), "cap" (per-segment packet cap
+	// reached).
+	TrainAborts map[string]int64
+	// LedgerClamps counts relLedger.push calls that had to clamp a release
+	// "marginally late" — a probe's shadow service finishing before the last
+	// committed release.  A drifting value flags credit-timing skew.
+	LedgerClamps int64
 	// UplinkBusy and DownlinkBusy are the cumulative transmission times per
 	// node link.
 	UplinkBusy   []sim.Duration
@@ -1137,6 +1253,17 @@ func (n *Network) Stats() Stats {
 		StallEvents:      n.stallEvents,
 		CutThroughEvents: n.cutThroughEvents,
 		ParallelWindows:  n.parallelWindows,
+		TrainsWalked:     n.trains.trains,
+		TrainPackets:     n.trains.packets,
+		TrainAborts: map[string]int64{
+			"wake":  n.trains.abortWake,
+			"probe": n.trains.abortProbe,
+			"route": n.trains.abortRoute,
+			"cap":   n.trains.abortCap,
+		},
+	}
+	for _, pt := range n.ports {
+		s.LedgerClamps += pt.led.clamps
 	}
 	for k, v := range n.bytesByClass {
 		s.BytesByClass[k] = v

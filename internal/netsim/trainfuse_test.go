@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+// trainFuseVariant selects one topology/buffer/observer combination for the
+// fused-vs-unfused identity fuzz.  The buffer ablation matters because
+// EgressBufferBytes=0 disables credit admission entirely (a different fused
+// code path), and tiny buffers force mid-train stall splits; the observer
+// toggle switches finishWalk between per-packet delivery posts and one
+// deferred completion per message.
+type trainFuseVariant struct {
+	name     string
+	topology Topology
+	nodes    int
+	ebuf     int
+	observe  bool
+}
+
+var trainFuseVariants = []trainFuseVariant{
+	{name: "star-tiny-buf", topology: Star{}, nodes: 10, ebuf: 8 * 1024, observe: true},
+	{name: "star-no-buf", topology: Star{}, nodes: 10, ebuf: 0, observe: false},
+	{name: "fattree-tiny-buf", topology: FatTree{Leaves: 4, UplinksPerLeaf: 2}, nodes: 16, ebuf: 8 * 1024, observe: false},
+	{name: "fattree-default-buf", topology: FatTree{Leaves: 4, UplinksPerLeaf: 2}, nodes: 16, ebuf: 16 * 1024, observe: true},
+}
+
+// trainFuseRun drives a randomized contention workload (deterministic in
+// wseed) and returns every observable the relaxed engine produces: the
+// delivery trace, message completion instants, probe latencies, the final
+// virtual clock, and the network statistics.
+func trainFuseRun(t *testing.T, v trainFuseVariant, wseed int64, workers int, noFuse bool) (string, Stats) {
+	t.Helper()
+	k := sim.NewKernel(1000 + wseed)
+	cfg := CabConfig()
+	cfg.Nodes = v.nodes
+	cfg.Topology = v.topology
+	cfg.EgressBufferBytes = v.ebuf
+	cfg.Workers = workers
+	cfg.NoTrainFuse = noFuse
+	n := MustNew(k, cfg)
+	var trace strings.Builder
+	if v.observe {
+		n.Observe(func(d Delivery) {
+			fmt.Fprintf(&trace, "dlv %d>%d sz=%d sent=%d arr=%d\n",
+				d.Src, d.Dst, d.Size, int64(d.Sent), int64(d.Arrived))
+		})
+	}
+	// The workload generator's stream is independent of the engine's; it only
+	// has to be identical across the fused and unfused runs.
+	wr := rand.New(rand.NewSource(wseed))
+	sendStorm := func(round int) func(any) {
+		return func(any) {
+			// A hot destination per round concentrates flows onto one egress
+			// port so trains split mid-flight on exhausted credits, while the
+			// remaining messages keep multiple queues non-empty (exercising
+			// the blocked-competitor fusion precondition).
+			hot := wr.Intn(v.nodes)
+			for i := 0; i < 24; i++ {
+				src := wr.Intn(v.nodes)
+				dst := hot
+				if wr.Intn(3) == 0 {
+					dst = wr.Intn(v.nodes)
+				}
+				if dst == src {
+					dst = (src + 1) % v.nodes
+				}
+				size := 1 + wr.Intn(192*1024)
+				flow := Flow{Class: "bulk", ID: round*100 + i%7}
+				id := fmt.Sprintf("msg r%d i%d %d>%d sz=%d", round, i, src, dst, size)
+				if err := n.SendMessage(src, dst, size, flow, func(at sim.Time) {
+					fmt.Fprintf(&trace, "%s done=%d\n", id, int64(at))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				src := wr.Intn(v.nodes)
+				dst := (src + 1 + wr.Intn(v.nodes-1)) % v.nodes
+				if dst == src {
+					dst = (src + 1) % v.nodes
+				}
+				id := fmt.Sprintf("probe r%d i%d %d>%d", round, i, src, dst)
+				if err := n.SendProbe(src, dst, 64, Flow{Class: "probe", ID: 900 + i}, func(d Delivery) {
+					fmt.Fprintf(&trace, "%s lat=%d\n", id, int64(d.Arrived-d.Sent))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	sendStorm(0)(nil)
+	for round := 1; round < 4; round++ {
+		k.CallAt(sim.Time(round)*sim.Time(400*sim.Microsecond), sendStorm(round), nil)
+	}
+	k.Run()
+	fmt.Fprintf(&trace, "end=%d\n", int64(k.Now()))
+	return trace.String(), n.Stats()
+}
+
+// TestTrainFuseByteIdentical is the identity gate for the train-fusion knob:
+// for fuzzed contention workloads over both topologies, with and without
+// credit buffers, across Workers values, the fused engine must reproduce the
+// unfused engine's output byte-for-byte — every delivery, completion and
+// probe timestamp, the final clock, and every schedule-derived counter.
+// That identity is what keeps NoTrainFuse out of Config.Fingerprint and the
+// cached artifact space unforked.
+func TestTrainFuseByteIdentical(t *testing.T) {
+	for _, v := range trainFuseVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for wseed := int64(1); wseed <= 5; wseed++ {
+				refTrace, refStats := trainFuseRun(t, v, wseed, 0, true)
+				if refStats.TrainsWalked != 0 {
+					t.Fatalf("seed %d: unfused run reports %d trains walked", wseed, refStats.TrainsWalked)
+				}
+				for _, workers := range []int{0, 1, 2} {
+					fTrace, fStats := trainFuseRun(t, v, wseed, workers, false)
+					if fTrace != refTrace {
+						t.Fatalf("seed %d workers=%d: fused trace diverges from unfused:\nunfused:\n%s\nfused:\n%s",
+							wseed, workers, head(refTrace, 25), head(fTrace, 25))
+					}
+					if fStats.TrainsWalked == 0 {
+						t.Fatalf("seed %d workers=%d: fused run walked no trains; the workload no longer arms fusion", wseed, workers)
+					}
+					// Fusion and worker telemetry are execution-only and
+					// legitimately differ; everything else must match
+					// byte-for-byte.
+					fStats.TrainsWalked, fStats.TrainPackets = 0, 0
+					fStats.TrainAborts = refStats.TrainAborts
+					fStats.ParallelWindows = refStats.ParallelWindows
+					if fmt.Sprintf("%+v", fStats) != fmt.Sprintf("%+v", refStats) {
+						t.Fatalf("seed %d workers=%d: stats diverge:\nunfused: %+v\nfused:   %+v",
+							wseed, workers, refStats, fStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrainFuseKillSwitchEnv pins the environment kill switch: with
+// SWITCHPROBE_NO_TRAIN_FUSE set, a default-config relaxed network must take
+// the unfused path even when Config.NoTrainFuse is false.
+func TestTrainFuseKillSwitchEnv(t *testing.T) {
+	t.Setenv(NoTrainFuseEnv, "1")
+	_, stats := trainFuseRun(t, trainFuseVariants[0], 3, 0, false)
+	if stats.TrainsWalked != 0 {
+		t.Fatalf("env kill switch ignored: %d trains walked", stats.TrainsWalked)
+	}
+}
+
+// benchTrainDrain drives the fused walk's ideal workload — one bulk flow
+// draining a long queue with no competitors — so the fused/unfused pair
+// isolates the per-packet arbitration and port-scalar cost that train fusion
+// amortizes, without the campaign benchmarks' mpisim and lane noise.
+func benchTrainDrain(b *testing.B, noFuse bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(77)
+		cfg := CabConfig()
+		cfg.NoTrainFuse = noFuse
+		n := MustNew(k, cfg)
+		for m := 0; m < 4; m++ {
+			if err := n.SendMessage(m, (m+5)%cfg.Nodes, 4<<20, Flow{Class: "bulk", ID: m}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+	}
+}
+
+func BenchmarkTrainDrainFused(b *testing.B)   { benchTrainDrain(b, false) }
+func BenchmarkTrainDrainUnfused(b *testing.B) { benchTrainDrain(b, true) }
+
+// TestTrainFuseCountersSurface pins the telemetry plumbing: a single-flow
+// bulk transfer is the ideal fusion workload, so the fused run must report
+// trains with a healthy packets-per-train ratio, and the fusion knob must
+// stay out of the config fingerprint.
+func TestTrainFuseCountersSurface(t *testing.T) {
+	run := func(noFuse bool) Stats {
+		k := sim.NewKernel(77)
+		cfg := CabConfig()
+		cfg.NoTrainFuse = noFuse
+		n := MustNew(k, cfg)
+		if err := n.SendMessage(0, 5, 4<<20, Flow{Class: "bulk", ID: 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return n.Stats()
+	}
+	fused := run(false)
+	if fused.TrainsWalked == 0 {
+		t.Fatal("single-flow bulk transfer walked no trains")
+	}
+	// The lookahead horizon bounds an uncontended train to ~2 MTU picks per
+	// advance window, so the average sits just under 2; the load-bearing
+	// claims are that trains carry more than one packet on average and that
+	// nearly all of the transfer's 1024 packets (4 MiB / 4 KiB MTU) ride
+	// fused trains rather than the per-packet fallback.
+	if ppt := float64(fused.TrainPackets) / float64(fused.TrainsWalked); ppt < 1.5 {
+		t.Fatalf("packets per train = %.2f, want ≥ 1.5 (trains: %d, packets: %d)",
+			ppt, fused.TrainsWalked, fused.TrainPackets)
+	}
+	if fused.TrainPackets < 1000 {
+		t.Fatalf("fused coverage too low: %d of 1024 packets rode trains", fused.TrainPackets)
+	}
+	unfused := run(true)
+	if unfused.TrainsWalked != 0 || unfused.TrainPackets != 0 {
+		t.Fatalf("unfused run reports train activity: %+v", unfused)
+	}
+	a, b := CabConfig(), CabConfig()
+	b.NoTrainFuse = true
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("NoTrainFuse leaked into Config.Fingerprint; cached artifacts would fork")
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestSubstreamDerivation pins the inline FNV-64a seeding to the reference
+// hash/fnv implementation it replaced, across seed signs and name shapes, and
+// pins NewSubstreamBytes to NewSubstream: historical relaxed-mode schedules
+// key every flow's variate sequence off this exact derivation, so it may
+// never drift.
+func TestSubstreamDerivation(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, 1000, -1, -987654321, 1<<62 + 3} {
+		k := NewKernel(seed)
+		for _, name := range []string{"", "fill-test", "flow/17/bulk/3", "flow/0//-5"} {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d/%s", seed, name)
+			want := h.Sum64()
+			if got := k.NewSubstream(name).state; got != want {
+				t.Fatalf("seed %d name %q: inline hash %#x, hash/fnv reference %#x", seed, name, got, want)
+			}
+			if got := k.NewSubstreamBytes([]byte(name)).state; got != want {
+				t.Fatalf("seed %d name %q: NewSubstreamBytes %#x, NewSubstream %#x", seed, name, got, want)
+			}
+		}
+	}
+}
+
+// TestSubstreamFillMatchesSequentialDraws pins the k-draw API's contract:
+// Fill(dst) must deliver exactly the values len(dst) successive Uint64 calls
+// produce, for any k, and the stream must continue identically afterwards.
+// The relaxed network engine's train-fused walks rely on this to batch
+// fabric-delay draws without perturbing the per-flow draw sequence.
+func TestSubstreamFillMatchesSequentialDraws(t *testing.T) {
+	k := NewKernel(42)
+	for _, draws := range []int{1, 2, 7, 64, 257} {
+		seq := k.NewSubstream("fill-test")
+		bat := k.NewSubstream("fill-test")
+		want := make([]uint64, draws)
+		for i := range want {
+			want[i] = seq.Uint64()
+		}
+		got := make([]uint64, draws)
+		bat.Fill(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: Fill[%d] = %#x, sequential draw = %#x", draws, i, got[i], want[i])
+			}
+		}
+		// Continuation after the batch must match continuation after the
+		// sequential draws.
+		for i := 0; i < 5; i++ {
+			if g, w := bat.Uint64(), seq.Uint64(); g != w {
+				t.Fatalf("k=%d: draw %d after Fill = %#x, after sequential = %#x", draws, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSubstreamRewind pins the un-draw contract: rewinding n draws restores
+// the stream to the position before them, so a prefetched-but-unused tail of
+// a Fill block can be returned without desynchronizing later consumers.
+func TestSubstreamRewind(t *testing.T) {
+	k := NewKernel(7)
+	s := k.NewSubstream("rewind-test")
+	ref := s // value copy: an untouched stream at the same position
+	buf := make([]uint64, 16)
+	s.Fill(buf)
+	s.Rewind(len(buf) - 4) // consume 4, return 12
+	for i := 0; i < 4; i++ {
+		if w := ref.Uint64(); buf[i] != w {
+			t.Fatalf("prefetched draw %d = %#x, want %#x", i, buf[i], w)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if g, w := s.Uint64(), ref.Uint64(); g != w {
+			t.Fatalf("draw %d after Rewind = %#x, want %#x", i, g, w)
+		}
+	}
+}
+
+// TestSubstreamConversionHelpers pins the U64* helpers to the method
+// arithmetic they factor out: a buffered consumer converting raw draws must
+// produce bit-identical variates to the draw-by-draw methods.
+func TestSubstreamConversionHelpers(t *testing.T) {
+	k := NewKernel(11)
+	a := k.NewSubstream("conv-test")
+	b := k.NewSubstream("conv-test")
+	for i := 0; i < 1000; i++ {
+		if g, w := U64Int63n(b.Uint64(), 241), a.Int63n(241); g != w {
+			t.Fatalf("Int63n draw %d: helper %d, method %d", i, g, w)
+		}
+		if g, w := U64Float64(b.Uint64()), a.Float64(); g != w {
+			t.Fatalf("Float64 draw %d: helper %v, method %v", i, g, w)
+		}
+	}
+}
