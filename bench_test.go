@@ -77,7 +77,7 @@ func BenchmarkFig3PacketLatencies(b *testing.B) {
 // benchmark's runs: kernel events fired, events the cut-through fast path
 // elided, rank goroutine switches and non-parking fast resumes, train-fusion
 // activity, and per-run event throughput.  cmd/benchjson records these into
-// BENCH_PR8.json so the perf trajectory is tracked in-repo.
+// BENCH_PR9.json so the perf trajectory is tracked in-repo.
 func reportSimMetrics(b *testing.B) {
 	u := experiments.SimUsage()
 	if u.Runs == 0 {
@@ -227,7 +227,7 @@ func benchTable1Fusion(b *testing.B, noFuse bool) {
 // BenchmarkTable1TrainFused runs the cold Table 1 campaign with the relaxed
 // engine's train-fused NIC drains explicitly enabled (the default).  Paired
 // with BenchmarkTable1NoTrainFuse it records the fusion speedup in the
-// BENCH_PR8.json record; fusion is byte-identical to the per-packet walk, so
+// BENCH_PR9.json record; fusion is byte-identical to the per-packet walk, so
 // the pair differs only in wall clock.  CI's bench-smoke job gates on fused
 // staying faster than unfused and on trains_walked/op staying positive.
 func BenchmarkTable1TrainFused(b *testing.B) { benchTable1Fusion(b, false) }

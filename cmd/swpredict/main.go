@@ -10,10 +10,18 @@
 //	          [-workers N] [-strict-order]
 //	          [-rank-runtime continuation|goroutine]
 //	          [-cache-dir DIR] [-no-cache]
+//	          [-fault-plan EVENTS] [-mtbf DUR -mttr DUR]
 //
 // With -cache-dir, measurement artifacts are served from (and persisted to)
 // the same content-addressed store swprobe uses, so a prediction on an
 // already-measured fabric runs without re-simulating anything.
+//
+// -fault-plan injects an explicit schedule of trunk faults
+// (kind:trunk@offset[:factor] events, comma-separated) into every
+// measurement run; -mtbf/-mttr (set together) instead draw failures from a
+// dedicated random substream.  Both need a topology with trunks (-topology
+// fattree) and join run fingerprints, so faulted measurements never share
+// cache entries with clean ones.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/mpisim"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
+	"github.com/hpcperf/switchprobe/internal/sim"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
 
@@ -55,6 +64,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "relaxed mode: worker goroutines for leaf-parallel advance windows (0/1 = sequential; the schedule is identical for every value)")
 	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
 	rankRuntime := fs.String("rank-runtime", "", "rank execution runtime: continuation (default) or goroutine; the schedule is byte-identical for both")
+	faultPlanStr := fs.String("fault-plan", "", "inject an explicit fault schedule into every run: comma-separated kind:trunk@offset[:factor] events (e.g. down:leaf0.up0@2ms,up:leaf0.up0@7ms)")
+	mtbf := fs.Duration("mtbf", 0, "mean virtual time between generated trunk failures (set together with -mttr)")
+	mttr := fs.Duration("mttr", 0, "mean virtual trunk repair time (set together with -mtbf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +75,23 @@ func run(args []string) error {
 	}
 	if *strictOrder && *workers > 1 {
 		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
+	}
+	if (*mtbf > 0) != (*mttr > 0) {
+		return fmt.Errorf("-mtbf and -mttr must be set together (e.g. -mtbf 50ms -mttr 5ms), got -mtbf %v -mttr %v", *mtbf, *mttr)
+	}
+	if *mtbf < 0 || *mttr < 0 {
+		return fmt.Errorf("-mtbf and -mttr must be positive virtual durations, got -mtbf %v -mttr %v", *mtbf, *mttr)
+	}
+	faultPlan, err := netsim.ParseFaultPlan(*faultPlanStr)
+	if err != nil {
+		return err
+	}
+	if *mtbf > 0 {
+		if faultPlan == nil {
+			faultPlan = &netsim.FaultPlan{}
+		}
+		faultPlan.MTBF = sim.Duration(*mtbf)
+		faultPlan.MTTR = sim.Duration(*mttr)
 	}
 	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
 	if err != nil {
@@ -83,6 +112,19 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Options.Machine.Net.Topology = topo
+	if faultPlan.Active() {
+		// Validate the plan upfront against the selected fabric so a star
+		// (no trunks) or an unknown trunk label fails with flag guidance
+		// instead of deep inside the first measurement.
+		lay, err := topo.Build(cfg.Options.Machine.Nodes())
+		if err != nil {
+			return err
+		}
+		if err := faultPlan.Validate(lay); err != nil {
+			return fmt.Errorf("%w; valid combinations: -topology fattree [-leaves N -uplinks N] with trunk labels leafL.upU or leafL.downU", err)
+		}
+		cfg.Options.Machine.Net.Faults = faultPlan
+	}
 	policy, err := cluster.ParsePlacement(*placement)
 	if err != nil {
 		return err

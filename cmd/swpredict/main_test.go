@@ -31,3 +31,25 @@ func TestRunValidatesExecutionFlags(t *testing.T) {
 		t.Fatal("expected error for -workers combined with -strict-order")
 	}
 }
+
+func TestRunValidatesFaultFlags(t *testing.T) {
+	if err := run([]string{"-preset", "ci", "-mtbf", "50ms"}); err == nil {
+		t.Fatal("expected error for -mtbf without -mttr")
+	}
+	if err := run([]string{"-preset", "ci", "-mttr", "5ms"}); err == nil {
+		t.Fatal("expected error for -mttr without -mtbf")
+	}
+	if err := run([]string{"-preset", "ci", "-fault-plan", "meteor"}); err == nil {
+		t.Fatal("expected error for malformed -fault-plan")
+	}
+	// The default star fabric has no trunks: an explicit plan must be
+	// rejected upfront, before any measurement starts.
+	if err := run([]string{"-preset", "ci", "-fault-plan", "down:leaf0.up0@1ms"}); err == nil {
+		t.Fatal("expected error for a fault plan on the trunkless star")
+	}
+	// An unknown trunk label on a real fat-tree is caught upfront too.
+	if err := run([]string{"-preset", "ci", "-topology", "fattree", "-leaves", "2",
+		"-fault-plan", "down:leaf9.up9@1ms"}); err == nil {
+		t.Fatal("expected error for an unknown trunk label")
+	}
+}

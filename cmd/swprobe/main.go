@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch|sched [-preset paper|default|ci]
+//	swprobe -exp fig3|fig6|fig7|table1|fig8|fig9|all|xswitch|sched|faults [-preset paper|default|ci]
 //	        [-seed N] [-parallel N] [-csv DIR]
 //	        [-workers N] [-strict-order] [-no-train-fuse]
 //	        [-rank-runtime continuation|goroutine]
@@ -14,6 +14,7 @@
 //	        [-topology star|fattree] [-leaves N] [-uplinks N]
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
 //	        [-policy LIST|all] [-jobs N] [-arrivals MS]
+//	        [-fault-plan EVENTS] [-mtbf DUR -mttr DUR]
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole campaign, so a
 // hot-path regression can be diagnosed on any experiment without editing
@@ -47,6 +48,16 @@
 // compares placement policies (-policy), including the predictor-guided one;
 // -jobs and -arrivals size the stream.
 //
+// The faults campaign injects deterministic trunk failures, degraded
+// uplinks and leaf partitions into every trunked fabric and reports
+// packet-level slowdown plus retransmit/reroute telemetry next to each
+// policy's job stretch and requeue counts.  -mtbf/-mttr (set together) add
+// a generated-failure case drawn from a dedicated random substream;
+// -fault-plan adds an explicit schedule of events
+// (kind:trunk@offset[:factor], comma-separated, e.g.
+// "down:leaf0.up0@2ms,up:leaf0.up0@7ms").  Fault plans join run
+// fingerprints, so faulted and clean runs never share cache entries.
+//
 // With -cache-dir, every simulation run's artifact is persisted to a
 // content-addressed store keyed by its RunSpec hash; a warm re-run of the
 // same campaign executes zero simulations and reproduces byte-identical
@@ -78,6 +89,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
 	"github.com/hpcperf/switchprobe/internal/sched"
+	"github.com/hpcperf/switchprobe/internal/sim"
 	"github.com/hpcperf/switchprobe/internal/stats"
 )
 
@@ -90,7 +102,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("swprobe", flag.ContinueOnError)
-	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9, xswitch, sched or all")
+	exp := fs.String("exp", "fig9", "experiment to run: fig3, fig6, fig7, table1, fig8, fig9, xswitch, sched, faults or all")
 	preset := fs.String("preset", string(experiments.PresetDefault), "scale preset: paper, default or ci")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = all CPUs)")
@@ -114,6 +126,9 @@ func run(args []string, out *os.File) error {
 	strictOrder := fs.Bool("strict-order", false, "run the strict golden-oracle event ordering instead of the relaxed engine (same as "+core.StrictOrderEnv+"=1)")
 	noTrainFuse := fs.Bool("no-train-fuse", false, "relaxed mode: disable train-fused NIC drains (same as "+netsim.NoTrainFuseEnv+"=1; the schedule is byte-identical either way)")
 	rankRuntime := fs.String("rank-runtime", "", "rank execution runtime: continuation (default) or goroutine; the schedule is byte-identical for both")
+	faultPlanStr := fs.String("fault-plan", "", "faults: explicit fault schedule, comma-separated kind:trunk@offset[:factor] events (e.g. down:leaf0.up0@2ms,up:leaf0.up0@7ms,degrade:leaf1.up0@1ms:2)")
+	mtbf := fs.Duration("mtbf", 0, "faults: mean virtual time between generated trunk failures (set together with -mttr)")
+	mttr := fs.Duration("mttr", 0, "faults: mean virtual trunk repair time (set together with -mtbf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +137,27 @@ func run(args []string, out *os.File) error {
 	}
 	if *strictOrder && *workers > 1 {
 		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
+	}
+	if (*mtbf > 0) != (*mttr > 0) {
+		return fmt.Errorf("-mtbf and -mttr must be set together (e.g. -mtbf 50ms -mttr 5ms), got -mtbf %v -mttr %v", *mtbf, *mttr)
+	}
+	if *mtbf < 0 || *mttr < 0 {
+		return fmt.Errorf("-mtbf and -mttr must be positive virtual durations, got -mtbf %v -mttr %v", *mtbf, *mttr)
+	}
+	faultPlan, err := netsim.ParseFaultPlan(*faultPlanStr)
+	if err != nil {
+		return err
+	}
+	faultFlagsSet := *mtbf > 0 || faultPlan.Active()
+	topologySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "topology" {
+			topologySet = true
+		}
+	})
+	if faultFlagsSet && topologySet && *topology == "star" {
+		return fmt.Errorf("fault injection needs a topology with trunks and -topology star has none; " +
+			"valid combinations: -exp faults with -topology fattree, or without -topology (the campaign sweeps every trunked fabric)")
 	}
 	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
 	if err != nil {
@@ -156,12 +192,13 @@ func run(args []string, out *os.File) error {
 	}
 	suite := experiments.NewSuiteWithEngine(cfg, eng)
 
-	valid := make(map[string]bool, len(experiments.Names)+2)
+	valid := make(map[string]bool, len(experiments.Names)+3)
 	for _, name := range experiments.Names {
 		valid[name] = true
 	}
 	valid["xswitch"] = true
 	valid["sched"] = true
+	valid["faults"] = true
 	var wanted []string
 	if *exp == "all" {
 		wanted = experiments.Names
@@ -169,10 +206,22 @@ func run(args []string, out *os.File) error {
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
 			if !valid[name] {
-				return fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, all)",
+				return fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, faults, all)",
 					name, strings.Join(experiments.Names, ", "))
 			}
 			wanted = append(wanted, name)
+		}
+	}
+	if faultFlagsSet {
+		runsFaults := false
+		for _, name := range wanted {
+			if name == "faults" {
+				runsFaults = true
+			}
+		}
+		if !runsFaults {
+			return fmt.Errorf("-fault-plan/-mtbf/-mttr configure the faults campaign; "+
+				"valid combinations: -exp faults [-fault-plan EVENTS] [-mtbf DUR -mttr DUR] (got -exp %s)", *exp)
 		}
 	}
 
@@ -193,6 +242,12 @@ func run(args []string, out *os.File) error {
 			}
 			schedSpec.Policies = append(schedSpec.Policies, p)
 		}
+	}
+	faultsSpec := experiments.FaultsSpec{
+		Sched: schedSpec,
+		MTBF:  sim.Duration(*mtbf),
+		MTTR:  sim.Duration(*mttr),
+		Plan:  faultPlan,
 	}
 
 	if *cpuProfile != "" {
@@ -263,6 +318,12 @@ func run(args []string, out *os.File) error {
 			if err == nil {
 				tbl, extra = report.SchedTable(r), experiments.SchedSummary(r)
 				schedCacheLines = schedCacheStats(r)
+			}
+		} else if name == "faults" {
+			var r experiments.FaultsResult
+			r, err = suite.Faults(faultsSpec)
+			if err == nil {
+				tbl, extra = report.FaultTable(r), experiments.FaultsSummary(r)
 			}
 		} else {
 			tbl, extra, err = runOne(suite, name, *targetName, *coName)
@@ -379,7 +440,7 @@ func runOne(suite *experiments.Suite, name, target, corunner string) (report.Tab
 		}
 		return report.XSwitchTable(r), xswitchSummary(r), nil
 	default:
-		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, all)",
+		return report.Table{}, "", fmt.Errorf("unknown experiment %q (valid: %s, xswitch, sched, faults, all)",
 			name, strings.Join(experiments.Names, ", "))
 	}
 }

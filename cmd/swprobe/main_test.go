@@ -292,3 +292,77 @@ func TestRunWorkersByteIdenticalCLI(t *testing.T) {
 		t.Fatalf("-workers changed the simulated output:\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
 }
+
+func TestRunValidatesFaultFlags(t *testing.T) {
+	// MTBF and MTTR are a pair: either alone is rejected with an example of
+	// the valid combination.
+	err := run([]string{"-preset", "ci", "-exp", "faults", "-mtbf", "50ms"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-mttr") {
+		t.Fatalf("-mtbf without -mttr should be rejected upfront: %v", err)
+	}
+	err = run([]string{"-preset", "ci", "-exp", "faults", "-mttr", "5ms"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-mtbf") {
+		t.Fatalf("-mttr without -mtbf should be rejected upfront: %v", err)
+	}
+	// A fault plan on an explicit star is a contradiction: stars have no
+	// trunks to fail, and the message must point at the trunked alternative.
+	err = run([]string{"-preset", "ci", "-exp", "faults", "-topology", "star",
+		"-fault-plan", "down:leaf0.up0@1ms"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "fattree") {
+		t.Fatalf("fault plan on -topology star should be rejected naming fattree: %v", err)
+	}
+	// Fault flags without the faults campaign do nothing; reject them with
+	// the valid combination instead of ignoring them silently.
+	err = run([]string{"-preset", "ci", "-exp", "fig3", "-fault-plan", "down:leaf0.up0@1ms"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-exp faults") {
+		t.Fatalf("fault flags without -exp faults should be rejected upfront: %v", err)
+	}
+	// Plan syntax errors surface before anything runs.
+	err = run([]string{"-preset", "ci", "-exp", "faults", "-fault-plan", "meteor"}, os.Stdout)
+	if err == nil {
+		t.Fatal("expected error for malformed -fault-plan")
+	}
+}
+
+// TestRunFaultsEndToEnd runs the resilience campaign through the CLI twice
+// and requires nonzero fault telemetry plus byte-identical CSV output: the
+// whole campaign, faults included, is a pure function of the seed.
+func TestRunFaultsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping faults campaign in -short mode")
+	}
+	runCSV := func() (string, string) {
+		t.Helper()
+		out, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		csvDir := t.TempDir()
+		if err := run([]string{
+			"-preset", "ci", "-exp", "faults", "-policy", "pack,predictor",
+			"-jobs", "6", "-csv", csvDir,
+		}, out); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(filepath.Join(csvDir, "faults.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob), string(text)
+	}
+	csv1, text := runCSV()
+	for _, want := range []string{"Resilience campaign", "downup", "degrade", "partition", "trunks_failed", "faults:", "retransmits"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	csv2, _ := runCSV()
+	if csv1 != csv2 {
+		t.Fatalf("faults campaign CSV differs across runs:\nfirst:\n%s\nsecond:\n%s", csv1, csv2)
+	}
+}

@@ -32,8 +32,16 @@ type SimUsage struct {
 	TrainPackets int64
 	TrainAborts  int64
 	LedgerClamps int64
-	VirtualNS    int64
-	WallNS       int64
+	// Fault-injection telemetry (netsim.Stats): trunk failures applied,
+	// packets lost to down trunks and re-injected, failover route
+	// recomputations, and the summed retransmit backoff.  All zero unless a
+	// run carried an active netsim.FaultPlan.
+	TrunksFailed         int64
+	PacketsRetransmitted int64
+	RoutesRecomputed     int64
+	RetryBackoffNs       int64
+	VirtualNS            int64
+	WallNS               int64
 }
 
 // EventsPerSecond returns the mean events-per-wall-second throughput of one
@@ -70,11 +78,19 @@ func (u SimUsage) String() string {
 	if u.TrainsWalked > 0 {
 		pktsPerTrain = float64(u.TrainPackets) / float64(u.TrainsWalked)
 	}
+	faults := ""
+	if u.TrunksFailed > 0 || u.PacketsRetransmitted > 0 || u.RoutesRecomputed > 0 {
+		// Rendered only when fault injection was active, so fault-free
+		// output stays byte-identical to earlier versions and the section
+		// is grep-able in campaign logs.
+		faults = fmt.Sprintf(", faults: %d trunk failures, %d retransmits (%.2fms backoff), %d reroutes",
+			u.TrunksFailed, u.PacketsRetransmitted, float64(u.RetryBackoffNs)/1e6, u.RoutesRecomputed)
+	}
 	return fmt.Sprintf(
-		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM fast resumes, %.2fM trains (%.1f pkts/train, %.2fM aborts, %d clamps), %.2fM events/s/run, %.1fx real time",
+		"%d runs, %.2fM events fired + %.2fM cut-through (%.1f%% saved, %.1f%% pooled, %.1f%% fast-path), %.2fM proc switches, %.2fM fast resumes, %.2fM trains (%.1f pkts/train, %.2fM aborts, %d clamps)%s, %.2fM events/s/run, %.1fx real time",
 		u.Runs, float64(u.EventsFired)/1e6, float64(u.EventsElided)/1e6, elidedPct, pooledPct, fastPct,
 		float64(u.ProcSwitches)/1e6, float64(u.ProcFastResumes)/1e6,
-		float64(u.TrainsWalked)/1e6, pktsPerTrain, float64(u.TrainAborts)/1e6, u.LedgerClamps,
+		float64(u.TrainsWalked)/1e6, pktsPerTrain, float64(u.TrainAborts)/1e6, u.LedgerClamps, faults,
 		u.EventsPerSecond()/1e6, u.RealTimeFactor())
 }
 
@@ -95,6 +111,10 @@ var simUsage struct {
 	trainPackets    atomic.Int64
 	trainAborts     atomic.Int64
 	ledgerClamps    atomic.Int64
+	trunksFailed    atomic.Int64
+	retransmits     atomic.Int64
+	reroutes        atomic.Int64
+	retryBackoffNS  atomic.Int64
 	virtualNS       atomic.Int64
 	wallNS          atomic.Int64
 }
@@ -122,9 +142,23 @@ func recordRun(k *sim.Kernel, net *netsim.Network, wall time.Duration) {
 		}
 		simUsage.trainAborts.Add(aborts)
 		simUsage.ledgerClamps.Add(ns.LedgerClamps)
+		simUsage.trunksFailed.Add(ns.TrunksFailed)
+		simUsage.retransmits.Add(ns.PacketsRetransmitted)
+		simUsage.reroutes.Add(ns.RoutesRecomputed)
+		simUsage.retryBackoffNS.Add(ns.RetryBackoffNs)
 	}
 	simUsage.virtualNS.Add(int64(k.Now()))
 	simUsage.wallNS.Add(wall.Nanoseconds())
+}
+
+// RecordSimRun folds a finished kernel's activity counters — and, when a
+// network is attached, its execution and fault telemetry — into the
+// process-wide accumulator.  It is the exported entry point for campaigns
+// that drive netsim directly (the fault-injection probes in
+// internal/experiments) rather than through this package's measurement
+// runners, so their runs still show up in the CLI's Simulator line.
+func RecordSimRun(k *sim.Kernel, net *netsim.Network, wall time.Duration) {
+	recordRun(k, net, wall)
 }
 
 // SimUsageSnapshot returns the accumulated kernel activity of all measurement
@@ -144,8 +178,14 @@ func SimUsageSnapshot() SimUsage {
 		TrainPackets:    simUsage.trainPackets.Load(),
 		TrainAborts:     simUsage.trainAborts.Load(),
 		LedgerClamps:    simUsage.ledgerClamps.Load(),
-		VirtualNS:       simUsage.virtualNS.Load(),
-		WallNS:          simUsage.wallNS.Load(),
+
+		TrunksFailed:         simUsage.trunksFailed.Load(),
+		PacketsRetransmitted: simUsage.retransmits.Load(),
+		RoutesRecomputed:     simUsage.reroutes.Load(),
+		RetryBackoffNs:       simUsage.retryBackoffNS.Load(),
+
+		VirtualNS: simUsage.virtualNS.Load(),
+		WallNS:    simUsage.wallNS.Load(),
 	}
 }
 
@@ -165,6 +205,10 @@ func ResetSimUsage() {
 	simUsage.trainPackets.Store(0)
 	simUsage.trainAborts.Store(0)
 	simUsage.ledgerClamps.Store(0)
+	simUsage.trunksFailed.Store(0)
+	simUsage.retransmits.Store(0)
+	simUsage.reroutes.Store(0)
+	simUsage.retryBackoffNS.Store(0)
 	simUsage.virtualNS.Store(0)
 	simUsage.wallNS.Store(0)
 }

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,10 @@ type Engine struct {
 	stored    atomic.Int64
 	loadErrs  atomic.Int64
 	storeErrs atomic.Int64
+
+	// warnOnce gates the store-not-writable log line: the first failed
+	// persist logs, the rest only count.
+	warnOnce sync.Once
 }
 
 // flight is one in-progress execution of a spec; concurrent requests for the
@@ -53,6 +58,10 @@ type flight struct {
 // directory; with an empty cacheDir the engine memoizes in-process only,
 // which preserves the historical Suite semantics of "measure once per
 // process".
+//
+// An unusable cache directory never takes the campaign down: the failure is
+// logged once and the engine degrades to in-process memoization — every run
+// is still measured live, just not persisted.
 func New(cacheDir string) (*Engine, error) {
 	e := &Engine{
 		mem:     make(map[string]core.Artifact),
@@ -61,9 +70,10 @@ func New(cacheDir string) (*Engine, error) {
 	if cacheDir != "" {
 		store, err := OpenStore(cacheDir)
 		if err != nil {
-			return nil, err
+			log.Printf("engine: persistent cache disabled, running memory-only: %v", err)
+		} else {
+			e.store = store
 		}
-		e.store = store
 	}
 	return e, nil
 }
@@ -164,8 +174,12 @@ func (e *Engine) execute(spec core.RunSpec, hash string) (core.Artifact, error) 
 	if e.store != nil {
 		if err := e.store.Save(spec, hash, art); err != nil {
 			// A read-only or full cache directory must not fail the science;
-			// the failure is visible in Stats.
+			// the failure is counted in Stats and logged on first occurrence
+			// (every subsequent miss would repeat the same complaint).
 			e.storeErrs.Add(1)
+			e.warnOnce.Do(func() {
+				log.Printf("engine: artifact store is not writable, results stay in-process: %v", err)
+			})
 		} else {
 			e.stored.Add(1)
 		}

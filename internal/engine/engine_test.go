@@ -294,3 +294,69 @@ func TestStatsString(t *testing.T) {
 		}
 	}
 }
+
+// TestUnusableCacheDirDegradesToMemory pins the open-path fallback: a cache
+// directory that cannot be created (here: a path through a regular file,
+// which fails even for root) must not fail the campaign — the engine comes
+// up memory-only and measures live.
+func TestUnusableCacheDirDegradesToMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(filepath.Join(blocker, "cache"))
+	if err != nil {
+		t.Fatalf("an unusable cache dir must degrade, not fail: %v", err)
+	}
+	if e.Persistent() {
+		t.Fatal("engine claims persistence behind an unusable directory")
+	}
+	if _, err := e.Calibration(testOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Simulated != 1 || st.Stored != 0 {
+		t.Fatalf("memory-only fallback stats = %+v", st)
+	}
+}
+
+// TestUnwritableStoreFallsBackToLiveResults pins the write-path fallback: a
+// store that opens fine but cannot persist (the blob's fan-out directory is
+// blocked by a regular file) still returns every artifact, counting the
+// failed persist instead of surfacing it.
+func TestUnwritableStoreFallsBackToLiveResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	e := MustNew(dir)
+	o := testOptions()
+	hash := core.CalibrateSpec(o).Hash()
+	// Block the fan-out subdirectory with a file; MkdirAll then fails with
+	// ENOTDIR regardless of privileges (chmod-based read-only dirs are
+	// bypassed by root, which CI containers run as).
+	if err := os.WriteFile(filepath.Join(e.StoreDir(), hash[:2]), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cal, err := e.Calibration(o)
+	if err != nil {
+		t.Fatalf("a read-only store must not fail the run: %v", err)
+	}
+	if cal.Idle.Mean <= 0 {
+		t.Fatalf("live result incomplete: %+v", cal.Idle)
+	}
+	st := e.Stats()
+	if st.Simulated != 1 || st.Stored != 0 || st.StoreErrors != 1 {
+		t.Fatalf("write-path fallback stats = %+v", st)
+	}
+	// The result is still memoized in-process: a second request costs
+	// nothing and never touches the broken store again.
+	if _, err := e.Calibration(o); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.MemoryHits != 1 || st.StoreErrors != 1 {
+		t.Fatalf("post-fallback memoization stats = %+v", st)
+	}
+}

@@ -204,6 +204,83 @@ func TestRelaxedStrictEquivalence(t *testing.T) {
 		}
 	})
 
+	t.Run("faults", func(t *testing.T) {
+		spec := FaultsSpec{Sched: SchedSpec{
+			Jobs: 8, Streams: 2,
+			Policies: []string{sched.PolicyPack, sched.PolicyPredictor},
+		}}
+		rr, err := relaxed.Faults(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := strict.Faults(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Rows) != len(sr.Rows) {
+			t.Fatalf("row count differs: %d vs %d", len(rr.Rows), len(sr.Rows))
+		}
+		for i, sv := range sr.Rows {
+			rv := rr.Rows[i]
+			if rv.Scenario != sv.Scenario || rv.Case != sv.Case || rv.Policy != sv.Policy {
+				t.Fatalf("row %d identity differs: %+v vs %+v", i, rv, sv)
+			}
+			// The fault timeline is traffic-independent (scheduled events, or
+			// a dedicated RNG substream), and failover routing depends only on
+			// trunk health — so failure and reroute counts must agree EXACTLY
+			// between the two engines.
+			if rv.TrunksFailed != sv.TrunksFailed {
+				t.Errorf("faults %s/%s: trunks failed %d (relaxed) vs %d (strict); the fault timeline must be engine-independent",
+					sv.Scenario, sv.Case, rv.TrunksFailed, sv.TrunksFailed)
+			}
+			if rv.Reroutes != sv.Reroutes {
+				t.Errorf("faults %s/%s: reroutes %d (relaxed) vs %d (strict); failover routing must be engine-independent",
+					sv.Scenario, sv.Case, rv.Reroutes, sv.Reroutes)
+			}
+			// Retransmit counts depend on which packets are in flight at the
+			// failure instant, which legitimately differs between the strict
+			// queue and the relaxed walk: gate agreement loosely, plus the
+			// structural invariant that a trunk-down case loses packets in
+			// both modes.
+			if sv.TrunksFailed > 0 && sv.Case != FaultCaseDegrade {
+				if (rv.Retransmits == 0) != (sv.Retransmits == 0) {
+					t.Errorf("faults %s/%s: retransmits %d (relaxed) vs %d (strict); one engine lost no packets",
+						sv.Scenario, sv.Case, rv.Retransmits, sv.Retransmits)
+				}
+			}
+			rtol := math.Max(16, 0.6*float64(sv.Retransmits))
+			if diff := math.Abs(float64(rv.Retransmits - sv.Retransmits)); diff > rtol {
+				t.Errorf("faults %s/%s: retransmits %d vs %d exceeds ±%.0f",
+					sv.Scenario, sv.Case, rv.Retransmits, sv.Retransmits, rtol)
+			}
+			// Probe slowdown under faults: same rationale (and band shape) as
+			// the xswitch degradation gate, slightly wider because the faulted
+			// run adds retransmit-timing microstructure on top of arbitration.
+			// The 12-point floor covers the degrade case, where both engines
+			// sit near 10% and the gap is ~0.2µs of absolute probe latency;
+			// a relaxed engine that dropped the degrade factor entirely would
+			// read ~0% against a strict ~14% and still fail the gate.
+			stol := math.Max(12.0, 0.45*math.Abs(sv.SlowdownPct))
+			t.Logf("faults %-12s %-9s %-9s slowdown relaxed=%.2f strict=%.2f retrans relaxed=%d strict=%d",
+				sv.Scenario, sv.Case, sv.Policy, rv.SlowdownPct, sv.SlowdownPct, rv.Retransmits, sv.Retransmits)
+			if math.Abs(rv.SlowdownPct-sv.SlowdownPct) > stol {
+				t.Errorf("faults %s/%s: slowdown %.2f%% vs %.2f%% exceeds ±%.2f",
+					sv.Scenario, sv.Case, rv.SlowdownPct, sv.SlowdownPct, stol)
+			}
+			// Job-level metrics reuse the sched gate: only the measured
+			// coefficients differ between engines.
+			jtol := math.Max(0.08, 0.12*sv.MeanStretch)
+			if math.Abs(rv.MeanStretch-sv.MeanStretch) > jtol {
+				t.Errorf("faults %s/%s/%s: mean stretch %.3f vs %.3f exceeds ±%.3f",
+					sv.Scenario, sv.Case, sv.Policy, rv.MeanStretch, sv.MeanStretch, jtol)
+			}
+			if rv.Requeues != sv.Requeues {
+				t.Errorf("faults %s/%s/%s: requeues %d vs %d; the health timeline is engine-independent",
+					sv.Scenario, sv.Case, sv.Policy, rv.Requeues, sv.Requeues)
+			}
+		}
+	})
+
 	t.Run("sched", func(t *testing.T) {
 		spec := SchedSpec{Jobs: 8, Streams: 2, Policies: sched.PolicyNames()}
 		rr, err := relaxed.Sched(spec)

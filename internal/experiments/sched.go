@@ -168,11 +168,14 @@ type SchedPolicyRow struct {
 	MeanStretch, P95Stretch float64
 	MeanWaitSec             float64
 	// MakespanSec and MeanUtilizationPct average across streams;
-	// Colocations and Deferrals sum.
+	// Colocations, Deferrals and Requeues sum.
 	MakespanSec        float64
 	MeanUtilizationPct float64
 	Colocations        int
 	Deferrals          int
+	// Requeues counts jobs evicted from dead leaves across all streams
+	// (always zero without a health timeline — see the faults campaign).
+	Requeues int
 	// OracleLookups and OracleMisses count the coefficient queries this
 	// policy's runs issued and how many of them had to resolve through the
 	// engine (zero on a prefetched campaign — every query is a memo hit).
@@ -196,6 +199,7 @@ func (row *SchedPolicyRow) aggregate() {
 		row.MeanUtilizationPct += r.MeanUtilizationPct
 		row.Colocations += r.Colocations
 		row.Deferrals += r.Deferrals
+		row.Requeues += r.Requeues
 	}
 	if len(row.Streams) > 0 {
 		row.MakespanSec /= float64(len(row.Streams))
@@ -292,8 +296,20 @@ func (s *Suite) Sched(spec SchedSpec) (SchedResult, error) {
 	return res, nil
 }
 
+// schedHealthTimeline derives a leaf-health feed for one scenario run from
+// the arrival stream's span (interarrival × jobs, in virtual seconds).  The
+// faults campaign uses it to inject deterministic leaf failures at fixed
+// fractions of the schedule; nil means every leaf stays healthy.
+type schedHealthTimeline func(span float64) (health func(leaf int, now float64) sched.LeafHealth, events []float64)
+
 // schedScenario runs every policy on one fabric.
 func (s *Suite) schedScenario(spec SchedSpec, scen SchedScenario, pred model.Predictor) ([]SchedPolicyRow, error) {
+	return s.schedScenarioHealth(spec, scen, pred, nil)
+}
+
+// schedScenarioHealth runs every policy on one fabric under an optional
+// leaf-health timeline.
+func (s *Suite) schedScenarioHealth(spec SchedSpec, scen SchedScenario, pred model.Predictor, timeline schedHealthTimeline) ([]SchedPolicyRow, error) {
 	o := s.cfg.Options
 	if scen.Topology != nil {
 		o.Machine.Net.Topology = scen.Topology
@@ -374,6 +390,14 @@ func (s *Suite) schedScenario(spec SchedSpec, scen SchedScenario, pred model.Pre
 		return nil, err
 	}
 
+	var (
+		health       func(leaf int, now float64) sched.LeafHealth
+		healthEvents []float64
+	)
+	if timeline != nil {
+		health, healthEvents = timeline(interarrival * float64(spec.Jobs))
+	}
+
 	oversub := schedOversubscription(o.Machine.Net.Topology, nodes)
 	var rows []SchedPolicyRow
 	for _, name := range spec.Policies {
@@ -396,6 +420,8 @@ func (s *Suite) schedScenario(spec SchedSpec, scen SchedScenario, pred model.Pre
 				Jobs:         jobs,
 				Policy:       policy,
 				Oracle:       oracle,
+				Health:       health,
+				HealthEvents: healthEvents,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("policy %s stream %d: %w", name, i, err)

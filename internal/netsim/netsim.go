@@ -48,7 +48,13 @@ import (
 // still reproduces version-2 packet schedules byte-for-byte — remains
 // selectable via Config.StrictOrder and participates in the fingerprint, so
 // artifacts from the two modes never collide.
-const ModelVersion = 3
+//
+// Version 4 adds fault injection (faults.go): trunk down/up/degrade
+// transitions, failover rerouting and NIC-level retransmit.  Fault-free runs
+// produce the same schedules as version 3, but the version bump invalidates
+// all persisted artifacts uniformly so the fingerprint grammar change
+// (Config.Faults) can never collide with a version-3 key.
+const ModelVersion = 4
 
 // Config describes the fabric and its links.
 type Config struct {
@@ -97,6 +103,10 @@ type Config struct {
 	// Workers value — which is why Workers is deliberately EXCLUDED from
 	// Fingerprint: it is an execution knob, not a model parameter.
 	Workers int
+	// Faults schedules trunk failures, repairs and degradations for the run
+	// (faults.go); nil injects nothing.  An active plan changes simulated
+	// schedules, so it participates in Fingerprint (canonically encoded).
+	Faults *FaultPlan
 	// NoTrainFuse disables the relaxed engine's train fusion (relaxed.go):
 	// NIC drains fall back to the per-packet pick/walk loop, which is the
 	// oracle the fused path must reproduce byte-for-byte.  Fusion is a pure
@@ -153,6 +163,11 @@ func (c Config) Fingerprint() string {
 		c.EgressBufferBytes,
 		TopologyFingerprint(c.topology()),
 		order)
+	if c.Faults.Active() {
+		// Only active plans join the fingerprint, so fault-free configs keep
+		// their exact version-3 encoding (modulo the ModelVersion bump).
+		fmt.Fprintf(&b, ";faults=%s", c.Faults.Fingerprint())
+	}
 	// Config.Workers and Config.NoTrainFuse are intentionally absent:
 	// parallel relaxed execution and train fusion are both byte-identical to
 	// the sequential per-packet engine, so they must not fork the artifact
@@ -200,10 +215,11 @@ func (c Config) Validate() error {
 	if err := c.validateScalars(); err != nil {
 		return err
 	}
-	if _, err := c.topology().Build(c.Nodes); err != nil {
+	lay, err := c.topology().Build(c.Nodes)
+	if err != nil {
 		return err
 	}
-	return nil
+	return c.Faults.Validate(lay)
 }
 
 // validateScalars checks everything but the topology layout, so Network
@@ -281,6 +297,9 @@ type packet struct {
 	// to.
 	route []*SwitchPort
 	hop   int
+	// retries counts losses on failed trunks (faults.go); it scales the
+	// retransmit backoff exponentially and saturates instead of overflowing.
+	retries uint8
 }
 
 // nextHop returns the port the packet visits after the current one, nil at
@@ -519,6 +538,14 @@ type SwitchPort struct {
 	relWaiters  []*nic
 	idx         int32
 	wakePending bool
+
+	// Fault state (faults.go, trunk ports only): down marks the trunk out of
+	// service; downAt is the instant of the current or next scheduled failure
+	// (maxSimTime when none), which relaxed walks compare committed arrivals
+	// against; slow > 1 scales the port's serialization time (degraded link).
+	down   bool
+	downAt sim.Time
+	slow   float64
 }
 
 // Label names the port ("down3" for node 3's egress, "leaf0.up1" for a
@@ -625,6 +652,20 @@ type Network struct {
 	// is the FIFO head taking its granted turn).
 	wakingPort *SwitchPort
 
+	// Fault-injection runtime (faults.go): faultsOn gates every hot-path
+	// check; faultPend is the time-sorted transition queue; nextFaultAt
+	// bounds the relaxed engine's lookahead horizon; faultRng feeds the
+	// MTBF/MTTR renewal generator.
+	faultsOn     bool
+	faultPend    []faultTransition
+	faultRng     sim.Substream
+	mtbf, mttr   sim.Duration
+	nextFaultAt  sim.Time
+	faultFn      func(any)
+	retryFn      func(any)
+	retryTimeout sim.Duration
+	retryCap     sim.Duration
+
 	// Statistics.
 	packetsDelivered int64
 	bytesDelivered   int64
@@ -633,6 +674,11 @@ type Network struct {
 	cutThroughEvents int64
 	parallelWindows  int64
 	trains           trainStats
+	// Fault telemetry (faults.go).
+	trunksFailed         int64
+	packetsRetransmitted int64
+	routesRecomputed     int64
+	retryBackoffNs       int64
 }
 
 // New creates a network attached to kernel k.
@@ -646,6 +692,9 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	if err := layout.validate(cfg.Nodes); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(layout); err != nil {
 		return nil, err
 	}
 	n := &Network{
@@ -719,7 +768,11 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	n.portDoneFn = func(a any) { n.portDone(a.(*packet)) }
 	n.deliverFn = func(a any) { n.deliver(a.(*packet)) }
 	n.relaxed = !cfg.StrictOrder
-	n.fuse = n.relaxed && !cfg.NoTrainFuse && os.Getenv(NoTrainFuseEnv) == ""
+	// Train fusion is disabled under an active fault plan: fused segments
+	// cache per-hop port state that a trunk transition could invalidate
+	// mid-train, and the conservative kill keeps the loss/reroute paths on
+	// the one audited walk.
+	n.fuse = n.relaxed && !cfg.NoTrainFuse && os.Getenv(NoTrainFuseEnv) == "" && !cfg.Faults.Active()
 	n.workers = cfg.Workers
 	n.relaxDeliverFn = func(a any) { n.relaxedDeliver(a.(*packet), n.k.Now()) }
 	n.relaxCompleteFn = func(a any) { n.relaxedComplete(a.(*packet), n.k.Now()) }
@@ -730,6 +783,9 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		// Another network already runs its lane on this kernel; this one
 		// falls back to plain kernel events (schedules are identical).
 		n.fastOn = false
+	}
+	if cfg.Faults.Active() {
+		n.setupFaults(cfg.Faults)
 	}
 	return n, nil
 }
@@ -744,6 +800,7 @@ func (n *Network) newPort(label string, node int, link Link, queueCap int) *Swit
 		queue:    pktQueue{buf: make([]*packet, 0, queueCap)},
 		waiting:  make(map[sender]bool),
 		idx:      int32(len(n.ports)),
+		downAt:   maxSimTime,
 		// Pre-size the relaxed-mode credit ledger and waiter FIFO so the
 		// steady-state drain path appends without touching the allocator.
 		led:        relLedger{q: make([]release, 0, 32)},
@@ -768,6 +825,7 @@ func (n *Network) putPacket(p *packet) {
 	p.onDeliver = nil
 	p.msg = nil
 	p.route = nil
+	p.retries = 0
 	n.pktFree = append(n.pktFree, p)
 }
 
@@ -1003,7 +1061,9 @@ func (n *Network) tryStartUplink(nc *nic) {
 		}
 		p := fq.q.front()
 		first := p.route[0]
-		if !first.hasRoom(p.size) {
+		if (n.faultsOn && first.down) || !first.hasRoom(p.size) {
+			// A down first trunk blocks like a full one: the NIC registers on
+			// it and is retried when the repair's wakeWaiters fires.
 			blocked = append(blocked, first)
 			continue
 		}
@@ -1092,9 +1152,16 @@ func (n *Network) uplinkDone(p *packet) {
 	n.tryStartUplink(nc)
 }
 
-// arrive places the packet on the queue of the port it has reached.
+// arrive places the packet on the queue of the port it has reached.  A
+// packet arriving at a trunk that failed while it was in flight is lost and
+// retransmitted (its buffer reserve, taken at admission, is released).
 func (n *Network) arrive(p *packet) {
 	pt := p.route[p.hop]
+	if n.faultsOn && pt.down {
+		pt.buffered -= p.size
+		n.losePacket(p, n.k.Now())
+		return
+	}
 	pt.queue.push(p)
 	n.tryStartPort(pt)
 }
@@ -1102,28 +1169,49 @@ func (n *Network) arrive(p *packet) {
 // tryStartPort drains the port's FIFO onto its link.  A port whose front
 // packet heads to a full downstream buffer stalls whole (head-of-line, as in
 // a real FIFO output queue) until credits return; the final egress port has
-// no downstream buffer and never stalls.
+// no downstream buffer and never stalls.  A front packet headed to a DOWN
+// trunk — its route went stale while it queued here — is dropped and
+// retransmitted instead of stalling the FIFO behind a link that may never
+// return.
 func (n *Network) tryStartPort(pt *SwitchPort) {
-	if pt.busy || pt.queue.empty() {
+	if pt.busy {
 		return
 	}
-	p := pt.queue.front()
-	if next := p.nextHop(); next != nil {
-		if !next.hasRoom(p.size) {
-			n.stallEvents++
-			if !next.waiting[pt] {
-				next.waiting[pt] = true
-				next.waiters = append(next.waiters, pt)
-			}
-			return
+	freed := false
+	for !pt.queue.empty() {
+		p := pt.queue.front()
+		next := p.nextHop()
+		if n.faultsOn && next != nil && next.down {
+			pt.queue.pop()
+			pt.buffered -= p.size
+			freed = true
+			n.losePacket(p, n.k.Now())
+			continue
 		}
-		next.buffered += p.size // credit reserved while in flight
+		if next != nil {
+			if !next.hasRoom(p.size) {
+				n.stallEvents++
+				if !next.waiting[pt] {
+					next.waiting[pt] = true
+					next.waiters = append(next.waiters, pt)
+				}
+				break
+			}
+			next.buffered += p.size // credit reserved while in flight
+		}
+		pt.queue.pop()
+		pt.busy = true
+		ser := n.serialization(p.size)
+		if n.faultsOn && pt.slow > 1 {
+			ser = sim.Duration(float64(ser) * pt.slow) // degraded link
+		}
+		pt.busyNS += ser
+		n.post(ser, lanePortDone, n.portDoneFn, p)
+		break
 	}
-	pt.queue.pop()
-	pt.busy = true
-	ser := n.serialization(p.size)
-	pt.busyNS += ser
-	n.post(ser, lanePortDone, n.portDoneFn, p)
+	if freed {
+		n.wakeWaiters(pt)
+	}
 }
 
 // portDone frees the port after a packet's serialization, releases the
@@ -1135,6 +1223,12 @@ func (n *Network) portDone(p *packet) {
 	pt.busy = false
 	pt.buffered -= p.size
 	n.wakeWaiters(pt)
+	if n.faultsOn && pt.down {
+		// The trunk failed while this packet was mid-serialization: the
+		// transmission was cut and the packet is lost.
+		n.losePacket(p, n.k.Now())
+		return
+	}
 	p.hop++
 	if p.hop < len(p.route) {
 		n.post(pt.link.Delay+n.fabricDelay(), laneArrive, n.arriveFn, p)
@@ -1233,6 +1327,14 @@ type Stats struct {
 	// "marginally late" — a probe's shadow service finishing before the last
 	// committed release.  A drifting value flags credit-timing skew.
 	LedgerClamps int64
+	// Fault-injection telemetry (faults.go): trunk failures applied, packets
+	// lost on failed trunks and retransmitted, node pairs whose route failed
+	// over (or back), and the summed retransmit backoff.  All zero on a
+	// fault-free run.
+	TrunksFailed         int64
+	PacketsRetransmitted int64
+	RoutesRecomputed     int64
+	RetryBackoffNs       int64
 	// UplinkBusy and DownlinkBusy are the cumulative transmission times per
 	// node link.
 	UplinkBusy   []sim.Duration
@@ -1261,6 +1363,10 @@ func (n *Network) Stats() Stats {
 			"route": n.trains.abortRoute,
 			"cap":   n.trains.abortCap,
 		},
+		TrunksFailed:         n.trunksFailed,
+		PacketsRetransmitted: n.packetsRetransmitted,
+		RoutesRecomputed:     n.routesRecomputed,
+		RetryBackoffNs:       n.retryBackoffNs,
 	}
 	for _, pt := range n.ports {
 		s.LedgerClamps += pt.led.clamps

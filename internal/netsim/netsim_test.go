@@ -462,3 +462,62 @@ func benchBulkTraffic(b *testing.B, strict bool) {
 
 func BenchmarkBulkTrafficRelaxed(b *testing.B) { benchBulkTraffic(b, false) }
 func BenchmarkBulkTrafficStrict(b *testing.B)  { benchBulkTraffic(b, true) }
+
+// benchFaultTraffic is the faulted-vs-clean A/B pair for the fault-injection
+// machinery: the same closed-loop cross-leaf load over a redundant fat-tree,
+// with and without a plan that fails one leaf-0 uplink mid-run (repaired
+// later) and halves the other.  The clean run prices the cost of merely
+// carrying the fault hooks on the hot path; the faulted run prices failover
+// recomputation, NIC retransmits, and lookahead clamping, and exports the
+// fault counters as benchmark metrics so CI can assert the machinery
+// actually engaged.
+func benchFaultTraffic(b *testing.B, faulted bool) {
+	const perNode = 250
+	b.ReportAllocs()
+	var st Stats
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		cfg := CabConfig()
+		cfg.Topology = FatTree{Leaves: 2, UplinksPerLeaf: 2}
+		if faulted {
+			cfg.Faults = &FaultPlan{Events: []FaultEvent{
+				{At: 300 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkDown},
+				{At: 900 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkUp},
+				{At: 600 * sim.Microsecond, Trunk: "leaf0.up1", Kind: FaultDegrade, Factor: 2},
+			}}
+		}
+		n := MustNew(k, cfg)
+		delivered := 0
+		var send func(src, m int)
+		send = func(src, m int) {
+			if m >= perNode {
+				return
+			}
+			// Always cross-leaf: the paired node on the other leaf, so every
+			// message rides the uplinks the plan fails.
+			dst := (src + cfg.Nodes/2) % cfg.Nodes
+			size := 2048 + (m%7)*1024
+			if err := n.SendMessage(src, dst, size, Flow{Class: "bulk", ID: m % 8},
+				func(sim.Time) { delivered++; send(src, m+1) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for src := 0; src < cfg.Nodes; src++ {
+			send(src, 0)
+		}
+		k.Run()
+		if want := cfg.Nodes * perNode; delivered != want {
+			b.Fatalf("delivered %d of %d messages", delivered, want)
+		}
+		st = n.Stats()
+		if faulted && st.TrunksFailed == 0 {
+			b.Fatal("faulted benchmark applied no trunk failures")
+		}
+	}
+	b.ReportMetric(float64(st.TrunksFailed), "trunks_failed/op")
+	b.ReportMetric(float64(st.PacketsRetransmitted), "retransmits/op")
+	b.ReportMetric(float64(st.RoutesRecomputed), "reroutes/op")
+}
+
+func BenchmarkFaultTrafficFaulted(b *testing.B) { benchFaultTraffic(b, true) }
+func BenchmarkFaultTrafficClean(b *testing.B)   { benchFaultTraffic(b, false) }

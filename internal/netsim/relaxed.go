@@ -303,6 +303,13 @@ func (n *Network) drainNic(nc *nic, sink *relSink) {
 	}
 	now := n.k.Now()
 	horizon := now.Add(n.lookahead)
+	if n.faultsOn && n.nextFaultAt < horizon {
+		// Fault transitions bound the lookahead: no pick is committed at or
+		// past the next scheduled trunk transition, so arbitration never
+		// batches across a topology change (walks committed before the bound
+		// still cover in-window failures via the per-hop downAt check).
+		horizon = n.nextFaultAt
+	}
 	t := nc.freeAt
 	if t < now {
 		t = now
@@ -355,7 +362,7 @@ func (n *Network) drainNic(nc *nic, sink *relSink) {
 				// without ever consulting the ledger.  The denied cache skips
 				// repeat admission checks against a port that already refused
 				// this pass.
-				if first == denied || (len(first.relWaiters) > 0 && first != n.wakingPort) || n.relAdmit(first, p.size, t) > t {
+				if (n.faultsOn && first.down) || first == denied || (len(first.relWaiters) > 0 && first != n.wakingPort) || n.relAdmit(first, p.size, t) > t {
 					anyBlocked = true
 					if wakeQ == nil && first == n.wakingPort {
 						// Remembered for train fusion: the one competitor whose
@@ -850,7 +857,7 @@ func (n *Network) expressHeads(nc *nic, now sim.Time, sink *relSink) {
 		}
 		first := p.route[0]
 		if p.onDeliver == nil {
-			if (len(first.relWaiters) > 0 && first != n.wakingPort) || n.relAdmit(first, p.size, tp) > tp {
+			if (n.faultsOn && first.down) || (len(first.relWaiters) > 0 && first != n.wakingPort) || n.relAdmit(first, p.size, tp) > tp {
 				fq.exprPending = true
 				if !nc.isWaitingOn(first) {
 					nc.waitingOn = append(nc.waitingOn, first)
@@ -911,6 +918,22 @@ func (n *Network) walkPacket(p *packet, fq *flowQueue, pick sim.Time, ser sim.Du
 		pt := route[h]
 		b := t.Add(pt.link.Delay + n.fabricDelayFrom(rng))
 		arrived := b
+		if n.faultsOn && pt.node < 0 && arrived >= pt.downAt {
+			// The trunk is (or will be) down at the packet's arrival — the
+			// downAt stamp covers both current failures and ones scheduled
+			// inside the committed window (the generator pre-draws, so the
+			// stamp is always current).  The packet holds one reserve on this
+			// hop (taken by the pick for hop 0, by the previous iteration
+			// otherwise); loseWalked releases it and retransmits.  Worker
+			// drains never reach here: trunk hops imply cross-leaf routes,
+			// which force sequential windows.
+			n.loseWalked(p, pt, arrived)
+			return
+		}
+		hser := ser
+		if n.faultsOn && pt.slow > 1 {
+			hser = sim.Duration(float64(ser) * pt.slow) // degraded link
+		}
 		// Arrival-ordered shadow service.  The port's committed freeAt leads
 		// honest arrival time by however far sender drain cursors have
 		// batched ahead, so a straight FIFO wait behind it would charge this
@@ -938,13 +961,13 @@ func (n *Network) walkPacket(p *packet, fq *flowQueue, pick sim.Time, ser sim.Du
 				next.buffered += size // credit reserved while in flight
 			}
 		}
-		e := b.Add(ser)
+		e := b.Add(hser)
 		if pt.freeAt > e {
-			pt.freeAt = pt.freeAt.Add(ser) // splice into the committed backlog
+			pt.freeAt = pt.freeAt.Add(hser) // splice into the committed backlog
 		} else {
 			pt.freeAt = e
 		}
-		pt.busyNS += ser
+		pt.busyNS += hser
 		if pt.capacity != 0 {
 			pt.led.push(e, size) // this hop's credit returns when service ends
 		}
@@ -1118,6 +1141,9 @@ func (n *Network) advance(gen int32) {
 	n.advPending = false
 	n.advancing = true
 	horizon := n.k.Now().Add(n.lookahead)
+	if n.faultsOn && n.nextFaultAt < horizon {
+		horizon = n.nextFaultAt // drains must not commit across a transition
+	}
 	list := n.parked
 	n.parked = n.parkedScratch[:0]
 	if n.workers <= 1 || !n.advanceParallel(list, horizon) {

@@ -179,6 +179,42 @@ func (t FatTree) Build(nodes int) (Layout, error) {
 	return lay, nil
 }
 
+// FailoverRouter is implemented by topologies that can compute an alternate
+// route between a node pair while avoiding failed trunks.  The fault-injection
+// runtime (faults.go) consults it on every trunk transition: a topology that
+// does not implement it keeps its static routes and failed trunks simply stall
+// their traffic (paper-faithful partition behaviour).
+type FailoverRouter interface {
+	// RouteAvoiding returns the trunk-index route from src to dst that avoids
+	// every trunk for which down reports true, or ok=false when no such route
+	// exists (the pair is partitioned).  With no trunks down it must return
+	// the same route Build resolved, so repaired fabrics converge back to
+	// their baseline routing.
+	RouteAvoiding(nodes, src, dst int, down func(trunk int) bool) (route []int, ok bool)
+}
+
+// RouteAvoiding implements FailoverRouter: the destination-routed uplink
+// choice u = dst % uplinks is probed first (the healthy mapping), then the
+// remaining uplink columns in rotation, taking the first column whose
+// leaf→spine and spine→leaf trunks are both alive.
+func (t FatTree) RouteAvoiding(nodes, src, dst int, down func(trunk int) bool) ([]int, bool) {
+	perLeaf := t.NodesPerLeaf(nodes)
+	ls, ld := src/perLeaf, dst/perLeaf
+	if src == dst || ls == ld {
+		return nil, true
+	}
+	uplinks := t.uplinks(nodes)
+	up := func(leaf, u int) int { return leaf*2*uplinks + u }
+	dn := func(leaf, u int) int { return leaf*2*uplinks + uplinks + u }
+	for k := 0; k < uplinks; k++ {
+		u := (dst + k) % uplinks
+		if !down(up(ls, u)) && !down(dn(ld, u)) {
+			return []int{up(ls, u), dn(ld, u)}, true
+		}
+	}
+	return nil, false
+}
+
 // ParseTopology builds a topology from textual CLI parameters.  kind is
 // "star" or "fattree"; leaves and uplinks apply only to the fat-tree (zero
 // leaves defaults to 2, zero uplinks means a non-oversubscribed fabric).

@@ -255,6 +255,39 @@ func SchedTable(r experiments.SchedResult) Table {
 	return t
 }
 
+// FaultTable renders the resilience campaign: per scenario x fault case x
+// policy, the packet-level slowdown and fault counters next to the policy's
+// job-level stretch and requeue counts.
+func FaultTable(r experiments.FaultsResult) Table {
+	t := Table{
+		Title: fmt.Sprintf("Resilience campaign: {%s} on %d streams x %d jobs per policy",
+			strings.Join(r.Cases, ", "), r.Spec.Sched.Streams, r.Spec.Sched.Jobs),
+		Headers: []string{
+			"scenario", "oversub", "case", "policy", "slowdown_pct", "trunks_failed",
+			"retransmits", "reroutes", "jobs", "mean_stretch", "p95_stretch",
+			"requeues", "deferrals",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario,
+			f2(row.Oversubscription),
+			row.Case,
+			row.Policy,
+			f1(row.SlowdownPct),
+			fmt.Sprintf("%d", row.TrunksFailed),
+			fmt.Sprintf("%d", row.Retransmits),
+			fmt.Sprintf("%d", row.Reroutes),
+			fmt.Sprintf("%d", row.Jobs),
+			fmt.Sprintf("%.3f", row.MeanStretch),
+			fmt.Sprintf("%.3f", row.P95Stretch),
+			fmt.Sprintf("%d", row.Requeues),
+			fmt.Sprintf("%d", row.Deferrals),
+		})
+	}
+	return t
+}
+
 // Summary renders a one-paragraph comparison against the paper's headline
 // claims, used by the CLI after fig9.
 func Summary(r experiments.Fig9Result) string {

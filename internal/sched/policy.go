@@ -10,6 +10,43 @@ import (
 	"github.com/hpcperf/switchprobe/internal/model"
 )
 
+// LeafHealth classifies a leaf's fabric health as seen by the scheduler.
+// The zero value is HealthOK so that schedulers without a health feed
+// (Config.Health == nil) behave exactly as before health awareness existed.
+type LeafHealth int
+
+const (
+	// HealthOK: the leaf's uplinks are fully operational.
+	HealthOK LeafHealth = iota
+	// HealthUnknown: the health feed cannot classify the leaf.  Policies
+	// should degrade gracefully (PredictorGuided falls back to pure
+	// consolidation when every candidate is unknown).
+	HealthUnknown
+	// HealthDegraded: the leaf is reachable but its uplinks run slow; jobs
+	// placed there progress at Config.DegradedRate of their healthy rate.
+	HealthDegraded
+	// HealthDead: the leaf is partitioned from the fabric.  The scheduler
+	// never offers dead leaves as candidates and requeues their resident
+	// jobs with full demand restored.
+	HealthDead
+)
+
+// String implements fmt.Stringer.
+func (h LeafHealth) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthUnknown:
+		return "unknown"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
 // Candidate is one leaf that can host an arriving job.
 type Candidate struct {
 	// Leaf is the leaf switch index.
@@ -19,6 +56,10 @@ type Candidate struct {
 	// Residents are the workloads already running on the leaf — the jobs an
 	// arriving job would share a contention domain with.
 	Residents []string
+	// Health is the leaf's health at offer time.  Dead leaves are filtered
+	// out before policies ever see them; degraded and unknown leaves are
+	// offered and left to the policy's judgment.
+	Health LeafHealth
 }
 
 // Policy decides which candidate leaf an arriving job is placed on.
@@ -185,6 +226,10 @@ type PredictorGuided struct {
 	// completion is cheaper than running at a fraction of solo speed.
 	// Zero disables deferral.
 	DeferThresholdPct float64
+	// DegradedPenaltyPct is added to a candidate's score when its leaf is
+	// degraded, so healthy leaves win unless they predict contention worse
+	// than the degraded fabric itself.  Zero disables the penalty.
+	DegradedPenaltyPct float64
 }
 
 // DefaultScoreMarginPct is the default equivalence band for candidate
@@ -198,13 +243,20 @@ const DefaultScoreMarginPct = 10.0
 // from "wait for a better slot".
 const DefaultDeferThresholdPct = 50.0
 
+// DefaultDegradedPenaltyPct is the default degraded-leaf penalty.  A
+// half-speed leaf costs a resident job 100 points of slowdown, so 75 makes a
+// degraded leaf lose to any healthy candidate short of a catastrophic
+// pairing while still beating the worst contended ones.
+const DefaultDegradedPenaltyPct = 75.0
+
 // NewPredictorGuided builds the predictor-in-the-loop policy.
 func NewPredictorGuided(pred model.Predictor, oracle Oracle) *PredictorGuided {
 	return &PredictorGuided{
-		pred:              pred,
-		oracle:            oracle,
-		ScoreMarginPct:    DefaultScoreMarginPct,
-		DeferThresholdPct: DefaultDeferThresholdPct,
+		pred:               pred,
+		oracle:             oracle,
+		ScoreMarginPct:     DefaultScoreMarginPct,
+		DeferThresholdPct:  DefaultDeferThresholdPct,
+		DegradedPenaltyPct: DefaultDegradedPenaltyPct,
 	}
 }
 
@@ -216,10 +268,37 @@ func (p *PredictorGuided) Predictor() model.Predictor { return p.pred }
 
 // Choose implements Policy.
 func (p *PredictorGuided) Choose(job JobSpec, cands []Candidate) (int, float64, error) {
+	allUnknown := true
+	for _, c := range cands {
+		if c.Health != HealthUnknown {
+			allUnknown = false
+			break
+		}
+	}
+	if allUnknown {
+		// The health feed says nothing about any candidate: the degraded
+		// penalty cannot discriminate, so degrade gracefully to pure
+		// consolidation rather than trusting predictions about a fabric in
+		// an unknown state.
+		return Pack{}.Choose(job, cands)
+	}
 	if !p.oracle.Contended() {
 		// No shared bottleneck between slot-exclusive jobs: the predictors'
 		// shared-queue premise does not apply, co-residency is predicted
-		// free, and the policy falls back to pure consolidation.
+		// free, and the policy falls back to consolidation — preferring
+		// non-degraded leaves when any exist.
+		best := -1
+		for i, c := range cands {
+			if c.Health == HealthDegraded {
+				continue
+			}
+			if best < 0 || c.UsedSlots > cands[best].UsedSlots {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best, 0, nil
+		}
 		return Pack{}.Choose(job, cands)
 	}
 	scores := make([]float64, len(cands))
@@ -228,6 +307,9 @@ func (p *PredictorGuided) Choose(job JobSpec, cands []Candidate) (int, float64, 
 		score, err := p.scoreCandidate(job, c)
 		if err != nil {
 			return 0, 0, err
+		}
+		if c.Health == HealthDegraded {
+			score += p.DegradedPenaltyPct
 		}
 		scores[i] = score
 		if i == 0 || score < min {

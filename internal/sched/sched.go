@@ -136,6 +136,20 @@ type Config struct {
 	Policy Policy
 	// Oracle resolves solo durations, co-run slowdowns and signatures.
 	Oracle Oracle
+	// Health reports a leaf's fabric health at a virtual time.  nil means
+	// every leaf is healthy forever — exactly the behaviour before health
+	// awareness existed.  The function must be pure over (leaf, time): the
+	// scheduler re-queries it on every event.
+	Health func(leaf int, now float64) LeafHealth
+	// HealthEvents lists the virtual times (seconds, ascending not required)
+	// at which Health may change its answer.  At each event the scheduler
+	// requeues jobs stranded on dead leaves, refreshes progress rates and
+	// re-offers the queue.  Health transitions between listed events are
+	// not observed.
+	HealthEvents []float64
+	// DegradedRate is the progress-rate multiplier applied to jobs running
+	// on degraded leaves (0 < rate ≤ 1); zero defaults to 0.5.
+	DegradedRate float64
 }
 
 // JobOutcome records one completed job.
@@ -199,6 +213,10 @@ type Result struct {
 	// Deferrals counts the times the policy postponed the head of the queue
 	// because every feasible placement predicted heavy contention.
 	Deferrals int
+	// Requeues counts jobs evicted from dead leaves and returned to the
+	// queue with their full service demand restored (partial progress on a
+	// partitioned leaf is lost, as on a real machine).
+	Requeues int
 	// TotalSlots is the cluster's job-slot capacity.
 	TotalSlots int
 }
@@ -401,6 +419,20 @@ func Run(cfg Config) (Result, error) {
 		lastEnd = firstAt
 	)
 
+	degradedRate := cfg.DegradedRate
+	if degradedRate <= 0 || degradedRate > 1 {
+		degradedRate = 0.5
+	}
+	healthAt := func(leaf int, t float64) LeafHealth {
+		if cfg.Health == nil {
+			return HealthOK
+		}
+		return cfg.Health(leaf, t)
+	}
+	healthEvents := append([]float64(nil), cfg.HealthEvents...)
+	sort.Float64s(healthEvents)
+	nextHealthIdx := 0
+
 	advance := func(t float64) {
 		dt := t - now
 		if dt > 0 {
@@ -411,7 +443,8 @@ func Run(cfg Config) (Result, error) {
 		now = t
 	}
 
-	// rateOf recomputes one job's progress rate from its co-residents.
+	// rateOf recomputes one job's progress rate from its co-residents and
+	// the health of the leaf it runs on.
 	rateOf := func(r *running) (float64, error) {
 		charge := 1.0
 		for _, other := range active {
@@ -432,7 +465,39 @@ func Run(cfg Config) (Result, error) {
 				charge += pct / 100
 			}
 		}
-		return 1 / charge, nil
+		rate := 1 / charge
+		if healthAt(r.leaf, now) == HealthDegraded {
+			rate *= degradedRate
+		}
+		return rate, nil
+	}
+
+	// requeueDead evicts jobs resident on dead leaves: their slots are
+	// released exactly once and the specs return to the head of the queue
+	// (oldest arrival first) with full demand — progress on a partitioned
+	// leaf is lost.
+	requeueDead := func() {
+		var back []JobSpec
+		for i := 0; i < len(active); {
+			r := active[i]
+			if healthAt(r.leaf, now) != HealthDead {
+				i++
+				continue
+			}
+			cs.release(r)
+			active = append(active[:i], active[i+1:]...)
+			back = append(back, r.spec)
+			res.Requeues++
+		}
+		if len(back) > 0 {
+			sort.SliceStable(back, func(i, j int) bool {
+				if back[i].Arrival != back[j].Arrival {
+					return back[i].Arrival < back[j].Arrival
+				}
+				return back[i].ID < back[j].ID
+			})
+			queue = append(back, queue...)
+		}
 	}
 
 	refresh := func() error {
@@ -471,6 +536,17 @@ func Run(cfg Config) (Result, error) {
 		for len(queue) > 0 {
 			job := queue[0]
 			cands := cs.candidates(job)
+			if cfg.Health != nil {
+				alive := cands[:0]
+				for _, c := range cands {
+					c.Health = healthAt(c.Leaf, now)
+					if c.Health == HealthDead {
+						continue
+					}
+					alive = append(alive, c)
+				}
+				cands = alive
+			}
 			if len(cands) == 0 {
 				break
 			}
@@ -551,11 +627,28 @@ func Run(cfg Config) (Result, error) {
 				done = r
 			}
 		}
-		if len(active) == 0 && len(pending) == 0 {
+		nextHealth := math.Inf(1)
+		for nextHealthIdx < len(healthEvents) && healthEvents[nextHealthIdx] < now {
+			nextHealthIdx++ // already in the past, nothing to observe
+		}
+		if nextHealthIdx < len(healthEvents) {
+			nextHealth = healthEvents[nextHealthIdx]
+		}
+		if len(active) == 0 && len(pending) == 0 && math.IsInf(nextHealth, 1) {
 			return Result{}, fmt.Errorf("sched: %d jobs stuck in the queue (head %s needs %d slots)",
 				len(queue), queue[0].Name(), queue[0].Slots)
 		}
-		if nextDone <= nextArrival {
+		if nextHealth < nextDone && nextHealth < nextArrival {
+			// Health transition: evict dead-leaf residents, refresh rates
+			// (degrade multipliers may have changed), then re-offer the
+			// queue — a revived leaf is a new candidate.
+			advance(nextHealth)
+			nextHealthIdx++
+			requeueDead()
+			if err := refresh(); err != nil {
+				return Result{}, err
+			}
+		} else if nextDone <= nextArrival {
 			advance(nextDone)
 			cs.release(done)
 			for i, r := range active {
