@@ -1,0 +1,41 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/hpcperf/switchprobe/internal/sim"
+)
+
+func faultRun(t *testing.T, strict bool) (int, Stats) {
+	cfg := CabConfig()
+	cfg.Nodes = 4
+	cfg.StrictOrder = strict
+	cfg.TailProb = 0
+	cfg.FabricJitter = 0
+	cfg.Topology = FatTree{Leaves: 2, UplinksPerLeaf: 1}
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+		{At: 2 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkDown},
+		{At: 200 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkUp},
+	}}
+	k := sim.NewKernel(1)
+	n := MustNew(k, cfg)
+	delivered := 0
+	for i := 0; i < 4; i++ {
+		if err := n.SendMessage(0, 2, 16*1024, Flow{Class: "bulk", ID: i}, func(sim.Time) { delivered++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(sim.Time(50 * sim.Millisecond))
+	for _, pt := range n.ports {
+		if pt.buffered != 0 {
+			t.Errorf("strict=%v port %s: buffered=%d after quiesce, want 0", strict, pt.Label(), pt.buffered)
+		}
+	}
+	return delivered, n.Stats()
+}
+
+func TestPortDoneLossReleasesNextHopReserve(t *testing.T) {
+	ds, ss := faultRun(t, true)
+	dr, sr := faultRun(t, false)
+	t.Logf("strict: delivered=%d retx=%d  relaxed: delivered=%d retx=%d", ds, ss.PacketsRetransmitted, dr, sr.PacketsRetransmitted)
+}
