@@ -12,6 +12,7 @@ package switchprobe
 // size of the look-up-table grid.
 
 import (
+	"io"
 	"os"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/inject"
 	"github.com/hpcperf/switchprobe/internal/model"
 	"github.com/hpcperf/switchprobe/internal/mpisim"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
 
@@ -77,7 +79,7 @@ func BenchmarkFig3PacketLatencies(b *testing.B) {
 // benchmark's runs: kernel events fired, events the cut-through fast path
 // elided, rank goroutine switches and non-parking fast resumes, train-fusion
 // activity, and per-run event throughput.  cmd/benchjson records these into
-// BENCH_PR9.json so the perf trajectory is tracked in-repo.
+// BENCH_PR10.json so the perf trajectory is tracked in-repo.
 func reportSimMetrics(b *testing.B) {
 	u := experiments.SimUsage()
 	if u.Runs == 0 {
@@ -236,6 +238,32 @@ func BenchmarkTable1TrainFused(b *testing.B) { benchTable1Fusion(b, false) }
 // identical campaign with Config.NoTrainFuse set, every pick walked by the
 // per-packet walkPacket path.
 func BenchmarkTable1NoTrainFuse(b *testing.B) { benchTable1Fusion(b, true) }
+
+// BenchmarkTable1Traced runs the cold Table 1 campaign with the structured
+// trace exporter armed at the default sampling rate, discarding the output.
+// Paired with BenchmarkTable1PairSlowdowns it measures the telemetry layer's
+// observation overhead; CI's bench-smoke job gates traced/untraced at 1.05x,
+// holding the tentpole contract that watching a campaign is nearly free.
+func BenchmarkTable1Traced(b *testing.B) {
+	experiments.ResetSimUsage()
+	telemetry.StartTrace(io.Discard, 1024)
+	defer func() {
+		if err := telemetry.StopTrace(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.MustNewConfig(benchPreset(), 1))
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.SlowdownPct[0][0], "fftw_self_pct")
+		}
+	}
+	reportSimMetrics(b)
+}
 
 // BenchmarkSchedCampaign runs the contention-aware scheduler campaign on the
 // headline oversubscribed fat-tree scenario: measuring the coefficient

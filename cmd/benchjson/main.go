@@ -1,6 +1,6 @@
 // Command benchjson runs the repository's Go benchmarks and writes the
 // results as machine-readable JSON, so the performance trajectory of the
-// simulator is tracked in-repo (BENCH_PR9.json, and its predecessors per
+// simulator is tracked in-repo (BENCH_PR10.json, and its predecessors per
 // PR) instead of in commit messages.
 //
 // Usage:
@@ -50,7 +50,7 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR9.json.
+// Report is the file layout of BENCH_PR10.json.
 type Report struct {
 	Preset     string                 `json:"preset"`
 	Go         string                 `json:"go"`
@@ -58,11 +58,11 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|Table1GoroutineRanks|Table1TrainFused|Table1NoTrainFuse|SchedCampaign|BulkTraffic|FaultTraffic", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "Fig3PacketLatencies|Table1PairSlowdowns|Table1StrictOrder|Table1GoroutineRanks|Table1TrainFused|Table1NoTrainFuse|Table1Traced|SchedCampaign|BulkTraffic|FaultTraffic", "benchmark regexp passed to go test -bench")
 	preset := flag.String("preset", "ci", "SWITCHPROBE_BENCH_PRESET for the run (ci, default or paper)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value; the minimum ns/op across repetitions is reported")
-	out := flag.String("out", "BENCH_PR9.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON file")
 	flag.Parse()
 
 	report, err := run(*bench, *preset, *benchtime, *count)

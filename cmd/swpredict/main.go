@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/hpcperf/switchprobe/internal/cliflags"
 	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/engine"
@@ -37,7 +38,6 @@ import (
 	"github.com/hpcperf/switchprobe/internal/mpisim"
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/report"
-	"github.com/hpcperf/switchprobe/internal/sim"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
 
@@ -70,29 +70,14 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	if err := cliflags.ValidateExec(*workers, *strictOrder); err != nil {
+		return err
 	}
-	if *strictOrder && *workers > 1 {
-		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
-	}
-	if (*mtbf > 0) != (*mttr > 0) {
-		return fmt.Errorf("-mtbf and -mttr must be set together (e.g. -mtbf 50ms -mttr 5ms), got -mtbf %v -mttr %v", *mtbf, *mttr)
-	}
-	if *mtbf < 0 || *mttr < 0 {
-		return fmt.Errorf("-mtbf and -mttr must be positive virtual durations, got -mtbf %v -mttr %v", *mtbf, *mttr)
-	}
-	faultPlan, err := netsim.ParseFaultPlan(*faultPlanStr)
+	faultPlan, _, err := cliflags.ParseFaultFlags(*faultPlanStr, *mtbf, *mttr)
 	if err != nil {
 		return err
 	}
-	if *mtbf > 0 {
-		if faultPlan == nil {
-			faultPlan = &netsim.FaultPlan{}
-		}
-		faultPlan.MTBF = sim.Duration(*mtbf)
-		faultPlan.MTTR = sim.Duration(*mttr)
-	}
+	faultPlan = cliflags.WithGenerated(faultPlan, *mtbf, *mttr)
 	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
 	if err != nil {
 		return err
@@ -116,12 +101,8 @@ func run(args []string) error {
 		// Validate the plan upfront against the selected fabric so a star
 		// (no trunks) or an unknown trunk label fails with flag guidance
 		// instead of deep inside the first measurement.
-		lay, err := topo.Build(cfg.Options.Machine.Nodes())
-		if err != nil {
+		if err := cliflags.ValidatePlanAgainst(faultPlan, topo, cfg.Options.Machine.Nodes()); err != nil {
 			return err
-		}
-		if err := faultPlan.Validate(lay); err != nil {
-			return fmt.Errorf("%w; valid combinations: -topology fattree [-leaves N -uplinks N] with trunk labels leafL.upU or leafL.downU", err)
 		}
 		cfg.Options.Machine.Net.Faults = faultPlan
 	}

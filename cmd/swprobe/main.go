@@ -15,6 +15,18 @@
 //	        [-placement pack|spread|random] [-target APP] [-corunner APP]
 //	        [-policy LIST|all] [-jobs N] [-arrivals MS]
 //	        [-fault-plan EVENTS] [-mtbf DUR -mttr DUR]
+//	        [-listen ADDR] [-trace FILE] [-trace-sample N]
+//
+// -listen serves live campaign telemetry over HTTP for the run's duration:
+// /metrics is the Prometheus text exposition of every simulator counter,
+// /progress reports the campaign phase, tasks done/planned and events per
+// second as JSON, and /debug/pprof exposes the standard Go profiling
+// endpoints.  -trace writes a Chrome trace-event JSON file (viewable in
+// Perfetto) of sampled kernel and network events, every scheduler placement
+// decision and job lifetime, and every fault window; -trace-sample keeps one
+// in N high-rate events (default 1024).  Both are pure observation — they
+// never touch fingerprints, random streams or campaign output, which stays
+// byte-identical with them on or off (see docs/observability.md).
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole campaign, so a
 // hot-path regression can be diagnosed on any experiment without editing
@@ -81,6 +93,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hpcperf/switchprobe/internal/cliflags"
 	"github.com/hpcperf/switchprobe/internal/cluster"
 	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/engine"
@@ -91,6 +104,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/sched"
 	"github.com/hpcperf/switchprobe/internal/sim"
 	"github.com/hpcperf/switchprobe/internal/stats"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 func main() {
@@ -129,35 +143,30 @@ func run(args []string, out *os.File) error {
 	faultPlanStr := fs.String("fault-plan", "", "faults: explicit fault schedule, comma-separated kind:trunk@offset[:factor] events (e.g. down:leaf0.up0@2ms,up:leaf0.up0@7ms,degrade:leaf1.up0@1ms:2)")
 	mtbf := fs.Duration("mtbf", 0, "faults: mean virtual time between generated trunk failures (set together with -mttr)")
 	mttr := fs.Duration("mttr", 0, "faults: mean virtual trunk repair time (set together with -mtbf)")
+	listen := fs.String("listen", "", "serve /metrics (Prometheus), /progress (JSON) and /debug/pprof on this address for the campaign's duration (e.g. :9090; empty = off)")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the campaign to this file (Perfetto-viewable: per-leaf lanes, scheduler placements, job lifetimes, fault windows)")
+	traceSample := fs.Int64("trace-sample", 1024, "with -trace: keep every Nth high-rate kernel/network event (1 = keep all); placements and fault windows are always kept")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	if err := cliflags.ValidateExec(*workers, *strictOrder); err != nil {
+		return err
 	}
-	if *strictOrder && *workers > 1 {
-		return fmt.Errorf("-workers %d needs the relaxed engine; it cannot be combined with -strict-order", *workers)
-	}
-	if (*mtbf > 0) != (*mttr > 0) {
-		return fmt.Errorf("-mtbf and -mttr must be set together (e.g. -mtbf 50ms -mttr 5ms), got -mtbf %v -mttr %v", *mtbf, *mttr)
-	}
-	if *mtbf < 0 || *mttr < 0 {
-		return fmt.Errorf("-mtbf and -mttr must be positive virtual durations, got -mtbf %v -mttr %v", *mtbf, *mttr)
-	}
-	faultPlan, err := netsim.ParseFaultPlan(*faultPlanStr)
+	faultPlan, faultFlagsSet, err := cliflags.ParseFaultFlags(*faultPlanStr, *mtbf, *mttr)
 	if err != nil {
 		return err
 	}
-	faultFlagsSet := *mtbf > 0 || faultPlan.Active()
 	topologySet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "topology" {
 			topologySet = true
 		}
 	})
-	if faultFlagsSet && topologySet && *topology == "star" {
-		return fmt.Errorf("fault injection needs a topology with trunks and -topology star has none; " +
-			"valid combinations: -exp faults with -topology fattree, or without -topology (the campaign sweeps every trunked fabric)")
+	if err := cliflags.CheckFaultTopology(faultFlagsSet, topologySet, *topology); err != nil {
+		return err
+	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 	runtimeMode, err := mpisim.ParseRankRuntime(*rankRuntime)
 	if err != nil {
@@ -185,6 +194,31 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	cfg.Options.Placement = policy
+
+	// Telemetry is pure observation: the listener and the trace writer print
+	// to stderr only, never join fingerprints, and the campaign's stdout/CSV
+	// output is byte-identical with them on or off (enforced by tests).
+	if *listen != "" {
+		srv, err := telemetry.NewServer(*listen, telemetry.Default(), telemetry.DefaultProgress())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "swprobe: telemetry on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		telemetry.StartTrace(f, *traceSample)
+		defer func() {
+			if err := telemetry.StopTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "swprobe: trace:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	eng, err := engine.Open(*cacheDir, *noCache)
 	if err != nil {
@@ -304,8 +338,11 @@ func run(args []string, out *os.File) error {
 	}
 
 	experiments.ResetSimUsage()
+	prog := telemetry.DefaultProgress()
+	prog.Start()
 	var schedCacheLines []string
 	for _, name := range wanted {
+		prog.SetPhase(name)
 		start := time.Now()
 		var (
 			tbl   report.Table
@@ -342,6 +379,7 @@ func run(args []string, out *os.File) error {
 			}
 		}
 	}
+	prog.SetPhase("done")
 	if u := experiments.SimUsage(); u.Runs > 0 {
 		fmt.Fprintf(out, "Simulator: %s\n", u)
 	}

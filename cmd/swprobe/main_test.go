@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -290,6 +292,81 @@ func TestRunWorkersByteIdenticalCLI(t *testing.T) {
 	par := runCSV("-workers", "4")
 	if seq != par {
 		t.Fatalf("-workers changed the simulated output:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+// TestObservationByteIdentity is the acceptance test of the telemetry
+// contract: running the full campaign set with the metrics server listening
+// and trace export enabled must emit CSVs byte-identical to an unobserved
+// run, for sequential and leaf-parallel execution alike.  Telemetry draws no
+// randomness and never joins fingerprints, so watching a campaign can never
+// change its results.
+func TestObservationByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs are slow; skipped in -short mode")
+	}
+	expList := "fig3,table1,sched,faults"
+	csvNames := []string{"fig3.csv", "table1.csv", "sched.csv", "faults.csv"}
+	runCampaign := func(workers int, observe bool) string {
+		t.Helper()
+		out, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		csvDir := t.TempDir()
+		args := []string{
+			"-preset", "ci", "-exp", expList, "-policy", "pack,predictor",
+			"-jobs", "6", "-csv", csvDir, "-workers", strconv.Itoa(workers),
+		}
+		var traceFile string
+		if observe {
+			traceFile = filepath.Join(t.TempDir(), "trace.json")
+			args = append(args,
+				"-listen", "127.0.0.1:0",
+				"-trace", traceFile,
+				"-trace-sample", "64",
+			)
+		}
+		if err := run(args, out); err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			// The exported trace must be well-formed Chrome trace-event JSON
+			// with at least one event: the campaign fires kernel, sched and
+			// fault emitters.
+			blob, err := os.ReadFile(traceFile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(blob, &doc); err != nil {
+				t.Fatalf("trace file is not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("trace file holds zero events for a full campaign")
+			}
+		}
+		return csvDir
+	}
+	for _, workers := range []int{0, 2} {
+		plain := runCampaign(workers, false)
+		observed := runCampaign(workers, true)
+		for _, name := range csvNames {
+			want, err := os.ReadFile(filepath.Join(plain, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(observed, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(want) != string(got) {
+				t.Errorf("workers=%d: %s differs between observed and unobserved runs", workers, name)
+			}
+		}
 	}
 }
 

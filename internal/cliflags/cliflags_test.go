@@ -1,0 +1,126 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcperf/switchprobe/internal/netsim"
+)
+
+func TestValidateExec(t *testing.T) {
+	if err := ValidateExec(0, false); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if err := ValidateExec(4, false); err != nil {
+		t.Fatalf("-workers 4 rejected: %v", err)
+	}
+	if err := ValidateExec(1, true); err != nil {
+		t.Fatalf("-workers 1 with -strict-order rejected: %v", err)
+	}
+	if err := ValidateExec(-1, false); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+	err := ValidateExec(4, true)
+	if err == nil || !strings.Contains(err.Error(), "strict-order") {
+		t.Fatalf("-workers with -strict-order should be rejected naming the flag: %v", err)
+	}
+}
+
+func TestParseFaultFlags(t *testing.T) {
+	plan, active, err := ParseFaultFlags("", 0, 0)
+	if err != nil || active {
+		t.Fatalf("no fault flags: active=%v err=%v", active, err)
+	}
+	if plan.Active() {
+		t.Fatal("empty plan reported active")
+	}
+
+	if _, _, err := ParseFaultFlags("", 50*time.Millisecond, 0); err == nil || !strings.Contains(err.Error(), "-mtbf") {
+		t.Fatalf("-mtbf without -mttr should be rejected naming the flag: %v", err)
+	}
+	if _, _, err := ParseFaultFlags("", 0, 5*time.Millisecond); err == nil {
+		t.Fatal("-mttr without -mtbf accepted")
+	}
+	if _, _, err := ParseFaultFlags("gibberish", 0, 0); err == nil {
+		t.Fatal("unparseable -fault-plan accepted")
+	}
+
+	plan, active, err = ParseFaultFlags("down:leaf0.up0@2ms,up:leaf0.up0@7ms", 0, 0)
+	if err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if !active || !plan.Active() || len(plan.Events) != 2 {
+		t.Fatalf("plan not parsed: active=%v events=%d", active, len(plan.Events))
+	}
+
+	if _, active, err = ParseFaultFlags("", 50*time.Millisecond, 5*time.Millisecond); err != nil || !active {
+		t.Fatalf("generator-only flags: active=%v err=%v", active, err)
+	}
+}
+
+func TestWithGenerated(t *testing.T) {
+	if got := WithGenerated(nil, 0, 0); got != nil {
+		t.Fatalf("zero mtbf must not allocate a plan, got %+v", got)
+	}
+	p := WithGenerated(nil, 50*time.Millisecond, 5*time.Millisecond)
+	if p == nil || p.MTBF == 0 || p.MTTR == 0 {
+		t.Fatalf("generator not folded into fresh plan: %+v", p)
+	}
+	base := &netsim.FaultPlan{Events: []netsim.FaultEvent{{Trunk: "leaf0.up0", Kind: netsim.FaultTrunkDown}}}
+	p = WithGenerated(base, 50*time.Millisecond, 5*time.Millisecond)
+	if p != base || len(p.Events) != 1 || p.MTBF == 0 {
+		t.Fatalf("generator not folded into existing plan: %+v", p)
+	}
+}
+
+func TestCheckFaultTopology(t *testing.T) {
+	if err := CheckFaultTopology(true, true, "star"); err == nil {
+		t.Fatal("fault flags with explicit -topology star accepted")
+	}
+	for _, c := range []struct {
+		faults, topoSet bool
+		topo            string
+	}{
+		{false, true, "star"},   // no fault flags
+		{true, false, "star"},   // default topology: campaign resolves it
+		{true, true, "fattree"}, // trunked topology is fine
+	} {
+		if err := CheckFaultTopology(c.faults, c.topoSet, c.topo); err != nil {
+			t.Fatalf("CheckFaultTopology(%+v) = %v", c, err)
+		}
+	}
+}
+
+func TestValidatePlanAgainst(t *testing.T) {
+	fattree, err := netsim.ParseTopology("fattree", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := netsim.ParseTopology("star", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := ParseFaultFlags("down:leaf0.up0@2ms", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlanAgainst(plan, fattree, 8); err != nil {
+		t.Fatalf("valid plan on fattree rejected: %v", err)
+	}
+	if err := ValidatePlanAgainst(plan, star, 8); err == nil {
+		t.Fatal("plan on trunkless star accepted")
+	}
+	bad, _, err := ParseFaultFlags("down:leaf9.up9@2ms", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ValidatePlanAgainst(bad, fattree, 8)
+	if err == nil || !strings.Contains(err.Error(), "leafL.upU") {
+		t.Fatalf("unknown trunk should fail with flag guidance: %v", err)
+	}
+	var nilPlan *netsim.FaultPlan
+	if err := ValidatePlanAgainst(nilPlan, star, 8); err != nil {
+		t.Fatalf("inactive plan must pass on any topology: %v", err)
+	}
+}

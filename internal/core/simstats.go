@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // SimUsage aggregates the kernel activity counters (sim.Kernel.Stats) of
@@ -94,29 +94,52 @@ func (u SimUsage) String() string {
 		u.EventsPerSecond()/1e6, u.RealTimeFactor())
 }
 
-// simUsage is the process-wide accumulator.  Measurement runs execute
-// concurrently (experiments fan out over a worker pool), so it is updated
-// with atomics.
-var simUsage struct {
-	runs            atomic.Int64
-	eventsScheduled atomic.Int64
-	eventsFired     atomic.Int64
-	eventsCancelled atomic.Int64
-	poolReuses      atomic.Int64
-	fastPathEvents  atomic.Int64
-	eventsElided    atomic.Int64
-	procSwitches    atomic.Int64
-	procFastResumes atomic.Int64
-	trainsWalked    atomic.Int64
-	trainPackets    atomic.Int64
-	trainAborts     atomic.Int64
-	ledgerClamps    atomic.Int64
-	trunksFailed    atomic.Int64
-	retransmits     atomic.Int64
-	reroutes        atomic.Int64
-	retryBackoffNS  atomic.Int64
-	virtualNS       atomic.Int64
-	wallNS          atomic.Int64
+// simUsage holds this package's handles into the process-wide telemetry
+// registry.  The registry series are the accumulator — the "Simulator:" line
+// and the /metrics endpoint render the same counters.  Handles are resolved
+// once at init so the per-run fold is a sequence of atomic adds.
+// Measurement runs execute concurrently (experiments fan out over a worker
+// pool); counter adds are wait-free so no extra locking is needed.
+var simUsage = struct {
+	runs            *telemetry.Counter
+	eventsScheduled *telemetry.Counter
+	eventsFired     *telemetry.Counter
+	eventsCancelled *telemetry.Counter
+	poolReuses      *telemetry.Counter
+	fastPathEvents  *telemetry.Counter
+	eventsElided    *telemetry.Counter
+	procSwitches    *telemetry.Counter
+	procFastResumes *telemetry.Counter
+	trainsWalked    *telemetry.Counter
+	trainPackets    *telemetry.Counter
+	trainAborts     *telemetry.Counter
+	ledgerClamps    *telemetry.Counter
+	trunksFailed    *telemetry.Counter
+	retransmits     *telemetry.Counter
+	reroutes        *telemetry.Counter
+	retryBackoffNS  *telemetry.Counter
+	virtualNS       *telemetry.Counter
+	wallNS          *telemetry.Counter
+}{
+	runs:            telemetry.Default().Counter("swprobe_sim_runs_total", "Measurement simulation runs recorded"),
+	eventsScheduled: telemetry.Default().Counter("swprobe_kernel_events_scheduled_total", "Kernel events scheduled across all runs"),
+	eventsFired:     telemetry.Default().Counter("swprobe_kernel_events_fired_total", "Kernel events fired across all runs"),
+	eventsCancelled: telemetry.Default().Counter("swprobe_kernel_events_cancelled_total", "Kernel events cancelled before firing"),
+	poolReuses:      telemetry.Default().Counter("swprobe_kernel_pool_reuses_total", "Kernel event allocations served from the pool"),
+	fastPathEvents:  telemetry.Default().Counter("swprobe_kernel_fastpath_events_total", "Kernel events scheduled on the same-instant fast path"),
+	eventsElided:    telemetry.Default().Counter("swprobe_kernel_events_elided_total", "Heap events elided by the cut-through deferred lane"),
+	procSwitches:    telemetry.Default().Counter("swprobe_kernel_proc_switches_total", "Process context switches in the rank runtime"),
+	procFastResumes: telemetry.Default().Counter("swprobe_kernel_proc_fast_resumes_total", "Process resumes served without a context switch"),
+	trainsWalked:    telemetry.Default().Counter("swprobe_net_trains_walked_total", "Packet trains walked by the relaxed engine's fused drains"),
+	trainPackets:    telemetry.Default().Counter("swprobe_net_train_packets_total", "Packets carried by fused train walks"),
+	trainAborts:     telemetry.Default().Counter("swprobe_net_train_aborts_total", "Train fusion attempts cut short"),
+	ledgerClamps:    telemetry.Default().Counter("swprobe_net_ledger_clamps_total", "Credit releases clamped to keep port ledgers sorted"),
+	trunksFailed:    telemetry.Default().Counter("swprobe_fault_trunks_failed_total", "Trunk failures applied by fault plans"),
+	retransmits:     telemetry.Default().Counter("swprobe_fault_retransmits_total", "Packets lost to down trunks and re-injected"),
+	reroutes:        telemetry.Default().Counter("swprobe_fault_reroutes_total", "Failover route recomputations"),
+	retryBackoffNS:  telemetry.Default().Counter("swprobe_fault_retry_backoff_ns_total", "Summed retransmit backoff (virtual nanoseconds)"),
+	virtualNS:       telemetry.Default().Counter("swprobe_sim_virtual_ns_total", "Virtual nanoseconds simulated across all runs"),
+	wallNS:          telemetry.Default().Counter("swprobe_sim_wall_ns_total", "Wall-clock nanoseconds spent simulating (summed per run)"),
 }
 
 // recordRun folds one finished kernel's counters into the accumulator, plus
@@ -162,55 +185,50 @@ func RecordSimRun(k *sim.Kernel, net *netsim.Network, wall time.Duration) {
 }
 
 // SimUsageSnapshot returns the accumulated kernel activity of all measurement
-// runs so far.
+// runs so far, read back from the telemetry registry (the same series
+// /metrics exposes — the CLI summary and a scrape can never disagree).
 func SimUsageSnapshot() SimUsage {
 	return SimUsage{
-		Runs:            simUsage.runs.Load(),
-		EventsScheduled: simUsage.eventsScheduled.Load(),
-		EventsFired:     simUsage.eventsFired.Load(),
-		EventsCancelled: simUsage.eventsCancelled.Load(),
-		PoolReuses:      simUsage.poolReuses.Load(),
-		FastPathEvents:  simUsage.fastPathEvents.Load(),
-		EventsElided:    simUsage.eventsElided.Load(),
-		ProcSwitches:    simUsage.procSwitches.Load(),
-		ProcFastResumes: simUsage.procFastResumes.Load(),
-		TrainsWalked:    simUsage.trainsWalked.Load(),
-		TrainPackets:    simUsage.trainPackets.Load(),
-		TrainAborts:     simUsage.trainAborts.Load(),
-		LedgerClamps:    simUsage.ledgerClamps.Load(),
+		Runs:            simUsage.runs.Value(),
+		EventsScheduled: simUsage.eventsScheduled.Value(),
+		EventsFired:     simUsage.eventsFired.Value(),
+		EventsCancelled: simUsage.eventsCancelled.Value(),
+		PoolReuses:      simUsage.poolReuses.Value(),
+		FastPathEvents:  simUsage.fastPathEvents.Value(),
+		EventsElided:    simUsage.eventsElided.Value(),
+		ProcSwitches:    simUsage.procSwitches.Value(),
+		ProcFastResumes: simUsage.procFastResumes.Value(),
+		TrainsWalked:    simUsage.trainsWalked.Value(),
+		TrainPackets:    simUsage.trainPackets.Value(),
+		TrainAborts:     simUsage.trainAborts.Value(),
+		LedgerClamps:    simUsage.ledgerClamps.Value(),
 
-		TrunksFailed:         simUsage.trunksFailed.Load(),
-		PacketsRetransmitted: simUsage.retransmits.Load(),
-		RoutesRecomputed:     simUsage.reroutes.Load(),
-		RetryBackoffNs:       simUsage.retryBackoffNS.Load(),
+		TrunksFailed:         simUsage.trunksFailed.Value(),
+		PacketsRetransmitted: simUsage.retransmits.Value(),
+		RoutesRecomputed:     simUsage.reroutes.Value(),
+		RetryBackoffNs:       simUsage.retryBackoffNS.Value(),
 
-		VirtualNS: simUsage.virtualNS.Load(),
-		WallNS:    simUsage.wallNS.Load(),
+		VirtualNS: simUsage.virtualNS.Value(),
+		WallNS:    simUsage.wallNS.Value(),
 	}
 }
 
 // ResetSimUsage clears the accumulator (used by tests and by CLI runs that
-// want per-campaign numbers).
+// want per-campaign numbers).  Counters are rewound rather than detached so
+// the registry handles stay valid; callers never reset concurrently with
+// recording runs.
 func ResetSimUsage() {
-	simUsage.runs.Store(0)
-	simUsage.eventsScheduled.Store(0)
-	simUsage.eventsFired.Store(0)
-	simUsage.eventsCancelled.Store(0)
-	simUsage.poolReuses.Store(0)
-	simUsage.fastPathEvents.Store(0)
-	simUsage.eventsElided.Store(0)
-	simUsage.procSwitches.Store(0)
-	simUsage.procFastResumes.Store(0)
-	simUsage.trainsWalked.Store(0)
-	simUsage.trainPackets.Store(0)
-	simUsage.trainAborts.Store(0)
-	simUsage.ledgerClamps.Store(0)
-	simUsage.trunksFailed.Store(0)
-	simUsage.retransmits.Store(0)
-	simUsage.reroutes.Store(0)
-	simUsage.retryBackoffNS.Store(0)
-	simUsage.virtualNS.Store(0)
-	simUsage.wallNS.Store(0)
+	for _, c := range []*telemetry.Counter{
+		simUsage.runs, simUsage.eventsScheduled, simUsage.eventsFired,
+		simUsage.eventsCancelled, simUsage.poolReuses, simUsage.fastPathEvents,
+		simUsage.eventsElided, simUsage.procSwitches, simUsage.procFastResumes,
+		simUsage.trainsWalked, simUsage.trainPackets, simUsage.trainAborts,
+		simUsage.ledgerClamps, simUsage.trunksFailed, simUsage.retransmits,
+		simUsage.reroutes, simUsage.retryBackoffNS, simUsage.virtualNS,
+		simUsage.wallNS,
+	} {
+		c.Add(-c.Value())
+	}
 }
 
 // runWindow drives one measurement kernel to the end of its window, shuts it

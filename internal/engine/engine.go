@@ -20,8 +20,33 @@ import (
 
 	"github.com/hpcperf/switchprobe/internal/core"
 	"github.com/hpcperf/switchprobe/internal/inject"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
+
+// cacheTel are the process-wide telemetry series for cache accounting.  Each
+// engine instance additionally keeps private atomics (Stats) so campaign code
+// can take per-phase and per-policy deltas of a single engine while several
+// engines run concurrently; the registry series are the cross-engine totals
+// /metrics exposes.  In the CLIs exactly one engine serves a campaign, so the
+// "Cache:" summary line and the registry agree number for number.
+var cacheTel = struct {
+	memHits   *telemetry.Counter
+	diskHits  *telemetry.Counter
+	deduped   *telemetry.Counter
+	simulated *telemetry.Counter
+	stored    *telemetry.Counter
+	loadErrs  *telemetry.Counter
+	storeErrs *telemetry.Counter
+}{
+	memHits:   telemetry.Default().Counter("swprobe_cache_memory_hits_total", "Artifact requests served from the in-process memo"),
+	diskHits:  telemetry.Default().Counter("swprobe_cache_disk_hits_total", "Artifact requests served from the on-disk store"),
+	deduped:   telemetry.Default().Counter("swprobe_cache_deduped_total", "Concurrent identical specs coalesced by singleflight"),
+	simulated: telemetry.Default().Counter("swprobe_cache_simulated_total", "Artifact requests resolved by a live simulation"),
+	stored:    telemetry.Default().Counter("swprobe_cache_stored_total", "Artifacts persisted to the on-disk store"),
+	loadErrs:  telemetry.Default().Counter("swprobe_cache_load_errors_total", "Corrupt or unreadable store blobs (fell back to live simulation)"),
+	storeErrs: telemetry.Default().Counter("swprobe_cache_store_errors_total", "Failed artifact persists (results stayed in-process)"),
+}
 
 // Engine runs RunSpecs through the artifact cache.  The zero value is not
 // usable; create engines with New.  All methods are safe for concurrent use.
@@ -117,6 +142,7 @@ func (e *Engine) Run(spec core.RunSpec) (core.Artifact, error) {
 	if art, ok := e.mem[hash]; ok {
 		e.mu.Unlock()
 		e.memHits.Add(1)
+		cacheTel.memHits.Inc()
 		return art, nil
 	}
 	if f, ok := e.flights[hash]; ok {
@@ -124,6 +150,7 @@ func (e *Engine) Run(spec core.RunSpec) (core.Artifact, error) {
 		<-f.done
 		if f.err == nil {
 			e.deduped.Add(1)
+			cacheTel.deduped.Inc()
 		}
 		return f.art, f.err
 	}
@@ -152,9 +179,11 @@ func (e *Engine) execute(spec core.RunSpec, hash string) (core.Artifact, error) 
 			// A corrupt blob falls back to a live simulation; the rewrite
 			// below repairs the store.
 			e.loadErrs.Add(1)
+			cacheTel.loadErrs.Inc()
 		}
 		if ok {
 			e.diskHits.Add(1)
+			cacheTel.diskHits.Inc()
 			return art, nil
 		}
 	}
@@ -171,17 +200,20 @@ func (e *Engine) execute(spec core.RunSpec, hash string) (core.Artifact, error) 
 		return core.Artifact{}, err
 	}
 	e.simulated.Add(1)
+	cacheTel.simulated.Inc()
 	if e.store != nil {
 		if err := e.store.Save(spec, hash, art); err != nil {
 			// A read-only or full cache directory must not fail the science;
 			// the failure is counted in Stats and logged on first occurrence
 			// (every subsequent miss would repeat the same complaint).
 			e.storeErrs.Add(1)
+			cacheTel.storeErrs.Inc()
 			e.warnOnce.Do(func() {
 				log.Printf("engine: artifact store is not writable, results stay in-process: %v", err)
 			})
 		} else {
 			e.stored.Add(1)
+			cacheTel.stored.Inc()
 		}
 	}
 	return art, nil

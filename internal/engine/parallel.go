@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // Parallel is the campaign runner: it executes n independent tasks on at
@@ -21,6 +23,11 @@ func Parallel(n, workers int, label func(i int) string, task func(i int) error) 
 	if workers < 1 {
 		workers = 1
 	}
+	// The fan-out feeds the live /progress endpoint: each batch registers its
+	// task count up front and marks tasks off as they finish.  Pure
+	// observation — task scheduling and results are unaffected.
+	prog := telemetry.DefaultProgress()
+	prog.AddPlanned(int64(n))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	errs := make([]error, n)
@@ -35,6 +42,7 @@ func Parallel(n, workers int, label func(i int) string, task func(i int) error) 
 					}
 					errs[i] = err
 				}
+				prog.MarkDone()
 			}
 		}()
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/hpcperf/switchprobe/internal/netsim"
 	"github.com/hpcperf/switchprobe/internal/sched"
 	"github.com/hpcperf/switchprobe/internal/stats"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 	"github.com/hpcperf/switchprobe/internal/workload"
 )
 
@@ -426,15 +427,68 @@ func (s *Suite) schedScenarioHealth(spec SchedSpec, scen SchedScenario, pred mod
 			if err != nil {
 				return nil, fmt.Errorf("policy %s stream %d: %w", name, i, err)
 			}
+			if telemetry.TraceEnabled() {
+				emitSchedTrace(scen.Label, name, i, result)
+			}
 			row.Streams = append(row.Streams, result)
 		}
 		row.Cache = s.eng.Stats().Minus(before)
 		lookups, misses := oracle.Stats()
 		row.OracleLookups, row.OracleMisses = lookups-lookups0, misses-misses0
+		recordSchedTelemetry(name, row)
 		row.aggregate()
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// recordSchedTelemetry folds one policy row's deltas into policy-labeled
+// registry series.  The oracle and engine keep per-instance atomics because
+// scenarios schedule in parallel and each row needs its own delta; the
+// registry gets the already-attributed per-policy sums, so /metrics can
+// answer "how many oracle probes did PredictorGuided cost" across the whole
+// campaign.
+func recordSchedTelemetry(policy string, row SchedPolicyRow) {
+	reg := telemetry.Default()
+	jobs := 0
+	for _, r := range row.Streams {
+		jobs += len(r.Jobs)
+	}
+	reg.Counter("swprobe_sched_jobs_total", "Jobs scheduled, by placement policy", "policy", policy).Add(int64(jobs))
+	reg.Counter("swprobe_sched_oracle_lookups_total", "Contention-oracle probes issued, by placement policy", "policy", policy).Add(row.OracleLookups)
+	reg.Counter("swprobe_sched_oracle_misses_total", "Contention-oracle probes that missed the artifact cache, by placement policy", "policy", policy).Add(row.OracleMisses)
+}
+
+// emitSchedTrace exports one scheduler run as trace lanes: a trace process
+// per scenario×policy×stream, a thread per leaf, a complete span per job
+// lifetime (start→end on its leaf) and an instant per placement decision.
+// Emission happens post-run from the Result record, so the scheduler's event
+// loop is untouched and the trace can never perturb a schedule.
+func emitSchedTrace(scenario, policy string, stream int, result sched.Result) {
+	pid := telemetry.NextTracePid()
+	telemetry.EmitProcessName(pid, fmt.Sprintf("sched %s/%s s%d", scenario, policy, stream))
+	leaves := map[int]bool{}
+	for _, j := range result.Jobs {
+		if !leaves[j.Leaf] {
+			leaves[j.Leaf] = true
+			telemetry.EmitThreadName(pid, int64(j.Leaf), fmt.Sprintf("leaf %d", j.Leaf))
+		}
+		startNS := int64(j.Start * 1e9)
+		durNS := int64((j.End - j.Start) * 1e9)
+		telemetry.EmitSpan("sched.job", fmt.Sprintf("j%d %s", j.ID, j.Workload), pid, int64(j.Leaf), startNS, durNS, map[string]any{
+			"slots":     j.Slots,
+			"wait_sec":  j.WaitSec,
+			"stretch":   j.Stretch,
+			"colocated": j.Colocated,
+		})
+	}
+	for _, d := range result.Decisions {
+		telemetry.EmitInstant("sched.place", fmt.Sprintf("place j%d %s", d.JobID, d.Workload), pid, int64(d.Leaf), int64(d.Time*1e9), map[string]any{
+			"score":    d.Score,
+			"queued":   d.Queued,
+			"feasible": d.Feasible,
+		})
+	}
 }
 
 // schedPrefetch warms the engine with every coefficient the simulations can

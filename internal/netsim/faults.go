@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // FaultKind names one trunk transition type.
@@ -383,6 +384,9 @@ func (n *Network) applyFault(tr faultTransition, now sim.Time) {
 		pt.down = true
 		pt.downAt = now
 		n.trunksFailed++
+		if telemetry.TraceEnabled() {
+			n.traceFault(pt, FaultTrunkDown, 0, now)
+		}
 		// Strict mode queues packets at ports; every queued packet holds a
 		// buffer reserve taken at admission.  Drop them all — the link is
 		// gone — and retransmit from their source NICs.  (Relaxed walks never
@@ -393,6 +397,11 @@ func (n *Network) applyFault(tr faultTransition, now sim.Time) {
 			n.losePacket(p, now)
 		}
 	case FaultTrunkUp:
+		if telemetry.TraceEnabled() {
+			// Emitted before downAt is rearmed: it still holds the failure
+			// instant, which closes the outage span.
+			n.traceFault(pt, FaultTrunkUp, 0, now)
+		}
 		pt.down = false
 		pt.downAt = maxSimTime
 		for _, tr2 := range n.faultPend {
@@ -404,6 +413,9 @@ func (n *Network) applyFault(tr faultTransition, now sim.Time) {
 	case FaultDegrade:
 		if tr.factor >= 1 {
 			pt.slow = tr.factor
+			if telemetry.TraceEnabled() {
+				n.traceFault(pt, FaultDegrade, tr.factor, now)
+			}
 		}
 	}
 }

@@ -375,6 +375,62 @@ func TestMTBFGeneratorDeterminism(t *testing.T) {
 	}
 }
 
+// TestFaultLossReleasesNextHopReserve pins the credit-conservation invariant
+// under fault-induced loss.  tryStartPort reserves buffer credit on the next
+// hop the moment serialization starts; when the trunk goes down mid-flight
+// the packet is dropped in portDone, which must release that reserve and wake
+// the next hop's waiters, or the credit leaks for the rest of the run and
+// eventually wedges the port.  A single-uplink fat-tree with an outage window
+// forces every cross-leaf packet through the loss-and-retransmit path; once
+// traffic quiesces, every port's buffered count must be exactly zero in both
+// engines.
+func TestFaultLossReleasesNextHopReserve(t *testing.T) {
+	for _, strict := range []bool{true, false} {
+		name := "relaxed"
+		if strict {
+			name = "strict"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := CabConfig()
+			cfg.Nodes = 4
+			cfg.StrictOrder = strict
+			cfg.TailProb = 0
+			cfg.FabricJitter = 0
+			cfg.Topology = FatTree{Leaves: 2, UplinksPerLeaf: 1}
+			cfg.Faults = &FaultPlan{Events: []FaultEvent{
+				{At: 2 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkDown},
+				{At: 200 * sim.Microsecond, Trunk: "leaf0.up0", Kind: FaultTrunkUp},
+			}}
+			k := sim.NewKernel(1)
+			n := MustNew(k, cfg)
+			delivered := 0
+			for i := 0; i < 4; i++ {
+				if err := n.SendMessage(0, 2, 16*1024, Flow{Class: "bulk", ID: i}, func(sim.Time) { delivered++ }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			k.RunUntil(sim.Time(50 * sim.Millisecond))
+			if delivered != 4 {
+				t.Fatalf("delivered %d of 4 messages across the outage, want all 4", delivered)
+			}
+			st := n.Stats()
+			if st.PacketsRetransmitted == 0 {
+				t.Fatal("outage injected no retransmits: the loss path was never exercised")
+			}
+			for _, pt := range n.ports {
+				// The relaxed engine returns credit lazily through the port
+				// ledger; fold everything matured by quiesce before asserting
+				// conservation.  Strict ports have empty ledgers, so this is
+				// a no-op there.
+				pt.buffered -= pt.led.apply(k.Now())
+				if pt.buffered != 0 {
+					t.Errorf("port %s: buffered=%d bytes after quiesce, want 0", pt.Label(), pt.buffered)
+				}
+			}
+		})
+	}
+}
+
 func TestFaultFreeScheduleUnchanged(t *testing.T) {
 	// A nil plan and an empty plan must not perturb schedules: the fault
 	// checks are all gated on faultsOn.

@@ -33,8 +33,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // ModelVersion identifies the behavioural generation of the network model:
@@ -54,7 +56,15 @@ import (
 // produce the same schedules as version 3, but the version bump invalidates
 // all persisted artifacts uniformly so the fingerprint grammar change
 // (Config.Faults) can never collide with a version-3 key.
-const ModelVersion = 4
+//
+// Version 5 fixes a credit leak on fault-induced loss: a packet dropped
+// mid-serialization (portDone on a downed trunk) now releases the next hop's
+// buffer reserve and wakes its waiters, where version 4 leaked the reserve
+// for the rest of the run.  Fault-free schedules are unchanged — the loss
+// branch is gated on an active plan — but faulted runs can now unblock
+// stalled senders earlier, so their packet schedules shift and every faulted
+// version-4 artifact must be invalidated.
+const ModelVersion = 5
 
 // Config describes the fabric and its links.
 type Config struct {
@@ -572,10 +582,14 @@ type Network struct {
 	topo   Topology
 	layout Layout
 	rng    *rand.Rand
-	nics   []*nic
-	egress []*SwitchPort // per-node egress ports
-	trunks []*SwitchPort // inter-switch ports (empty for Star)
-	ports  []*SwitchPort // every port, indexed by SwitchPort.idx
+	// tracePid is this network's lane group in a structured trace, allocated
+	// on first sampled emission (0 = none yet); atomic because relaxed-mode
+	// leaf workers emit delivery events concurrently (see trace.go).
+	tracePid atomic.Int64
+	nics     []*nic
+	egress   []*SwitchPort // per-node egress ports
+	trunks   []*SwitchPort // inter-switch ports (empty for Star)
+	ports    []*SwitchPort // every port, indexed by SwitchPort.idx
 	// routes[src*Nodes+dst] is the shared port sequence between the pair,
 	// ending at dst's egress port; resolved once at construction so the
 	// per-packet path costs one slice-header copy.
@@ -1225,7 +1239,15 @@ func (n *Network) portDone(p *packet) {
 	n.wakeWaiters(pt)
 	if n.faultsOn && pt.down {
 		// The trunk failed while this packet was mid-serialization: the
-		// transmission was cut and the packet is lost.
+		// transmission was cut and the packet is lost.  Release the next
+		// hop's credit too — tryStartPort reserved it when serialization
+		// began, and the packet will never arrive to claim it; without the
+		// release the reserve leaks until the run ends, shrinking the next
+		// hop's buffer for every later packet.
+		if next := p.nextHop(); next != nil {
+			next.buffered -= p.size
+			n.wakeWaiters(next)
+		}
 		n.losePacket(p, n.k.Now())
 		return
 	}
@@ -1268,6 +1290,9 @@ func (n *Network) deliverAt(p *packet, at sim.Time) {
 	n.packetsDelivered++
 	n.bytesDelivered += int64(p.size)
 	n.bytesByClass[p.flow.Class] += int64(p.size)
+	if telemetry.TraceEnabled() && telemetry.TraceSampleHit() {
+		n.traceDelivery(p, at)
+	}
 	d := Delivery{Src: p.src, Dst: p.dst, Size: p.size, Flow: p.flow, Sent: p.sent, Arrived: at}
 	for _, obs := range n.observers {
 		obs(d)

@@ -59,6 +59,7 @@ package netsim
 
 import (
 	"github.com/hpcperf/switchprobe/internal/sim"
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // relaxedLookaheadWindows scales the relaxed-mode commit horizon in units of
@@ -984,6 +985,9 @@ func (n *Network) walkPacket(p *packet, fq *flowQueue, pick sim.Time, ser sim.Du
 func (n *Network) finishWalk(p *packet, fq *flowQueue, arrive sim.Time, sink *relSink) {
 	size := p.size
 	fq.bytes += int64(size)
+	if telemetry.TraceEnabled() && telemetry.TraceSampleHit() {
+		n.traceDelivery(p, arrive)
+	}
 	if sink != nil {
 		sink.packets++
 		sink.bytes += int64(size)

@@ -26,6 +26,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"github.com/hpcperf/switchprobe/internal/telemetry"
 )
 
 // KernelVersion identifies the behavioural generation of the kernel: its
@@ -214,6 +216,11 @@ type Kernel struct {
 
 	// aux is the attached deferred event lane, if any (see AuxQueue).
 	aux AuxQueue
+
+	// tracePid is this kernel's lane id in a structured trace, allocated on
+	// the first sampled emission (0 = none yet).  Purely observational: it
+	// exists only while a trace is being recorded.
+	tracePid int64
 
 	procSeq int
 	procs   []*Proc
@@ -699,6 +706,17 @@ func (k *Kernel) step(deadline Time) bool {
 		k.now = e.at
 		k.curSeq = e.seq
 		k.stats.EventsFired++
+		if telemetry.TraceEnabled() && telemetry.TraceSampleHit() {
+			// Sampled kernel lane: one instant per kept event at its virtual
+			// firing time.  The guard is a single atomic load when no trace is
+			// active, and sampling is a deterministic counter modulo — the
+			// event schedule cannot depend on it.
+			if k.tracePid == 0 {
+				k.tracePid = telemetry.NextTracePid()
+				telemetry.EmitProcessName(k.tracePid, "sim kernel")
+			}
+			telemetry.EmitInstant("kernel", "fire", k.tracePid, 0, int64(e.at), nil)
+		}
 		fn, afn, arg := e.fn, e.afn, e.arg
 		k.recycle(e) // safe: callback copied out, struct may be reused by fn itself
 		if fn != nil {

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): per family a # HELP and # TYPE comment, then one
+// line per series.  Histograms expand into _bucket{le=...}, _sum and _count
+// series with cumulative bucket counts.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Type); err != nil {
+			return err
+		}
+		for _, s := range fam.Samples {
+			if fam.Type == TypeHistogram {
+				if err := writeHistogram(w, fam.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, formatLabels(s.Labels, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s Sample) error {
+	h := s.Hist
+	for i, b := range h.Bounds {
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(s.Labels, "le", le), h.Counts[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(s.Labels, "le", "+Inf"), h.CountInf); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(s.Labels, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.Labels, "", ""), h.CountInf)
+	return err
+}
+
+// formatLabels renders {a="x",b="y"}, optionally appending one extra pair
+// (the histogram "le" bound); an empty set renders as nothing.
+func formatLabels(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: integral
+// values without an exponent or decimal point, everything else in Go's
+// shortest float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,404 @@
+// Package telemetry is the simulator's observability substrate: one process
+// holds one metrics Registry of named, labeled series (counters, gauges,
+// histograms) with cheap atomic updates, plus a structured trace exporter
+// and a campaign progress tracker, all servable over HTTP (see server.go).
+//
+// The package replaces the bespoke per-subsystem stat structs that used to
+// be threaded by hand from the kernel up to the CLIs: the aggregation layers
+// (core.SimUsage, the engine's cache accounting, the scheduler's per-policy
+// deltas) now write registry series, and the human-readable one-shot lines
+// the CLIs print are renderings of registry snapshots.  Hot per-run structs
+// (sim.Stats, netsim.Stats) stay plain local counters — a simulation run is
+// single-threaded and its counters are folded into the registry once, when
+// the run is recorded — so observation adds nothing to the event loop.
+//
+// The non-negotiable contract: telemetry observes, it never participates.
+// No registry or trace operation draws from any random stream, none of the
+// knobs (listen address, trace file, sampling rate) joins a RunSpec
+// fingerprint, and campaign outputs are byte-identical with telemetry on or
+// off.  That contract is enforced by tests in this package and by the
+// byte-identity-under-observation tests in cmd/swprobe.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the series kinds for exposition.
+type MetricType uint8
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE token.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metrictype(%d)", uint8(t))
+	}
+}
+
+// Label is one name=value pair of a series.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing int64 series.  The zero value is
+// usable but unregistered; obtain counters through Registry.Counter so they
+// appear in snapshots.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0 for the series to stay
+// monotonic; Add does not enforce it because Reset legitimately rewinds).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 series that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add offsets the gauge by d (compare-and-swap loop; gauges are low-rate).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations <= its upper bound, plus an implicit +Inf
+// bucket).  Observations are atomic; bounds are immutable after creation.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    Gauge // observation sum (atomic float64 add)
+	count  atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≤ ~20): a linear scan beats binary search on such
+	// short slices and keeps the hot path branch-predictable.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the number of
+	// observations <= Bounds[i] (cumulative, Prometheus-style).  CountInf is
+	// the total including observations above every bound.
+	Bounds   []float64
+	Counts   []int64 // cumulative per bound
+	CountInf int64
+	Sum      float64
+	Count    int64
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.bounds)),
+		Sum:    h.sum.Value(),
+		Count:  h.count.Load(),
+	}
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.CountInf = cum + h.inf.Load()
+	return s
+}
+
+// Sample is one series' frozen value inside a snapshot.
+type Sample struct {
+	Labels []Label
+	Value  float64            // counter (as float) or gauge value
+	Hist   *HistogramSnapshot // set for histograms only
+}
+
+// FamilySnapshot is one metric family (a name with its help text, type and
+// every labeled series) frozen for exposition.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// family holds every series of one metric name.
+type family struct {
+	name, help string
+	typ        MetricType
+	bounds     []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*seriesEntry // key: canonical label encoding
+}
+
+type seriesEntry struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds this process's metric families.  All methods are safe for
+// concurrent use; series handles returned by Counter/Gauge/Histogram are
+// get-or-create and should be cached by hot callers so updates are a single
+// atomic add.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order for stable exposition
+}
+
+// NewRegistry returns an empty registry.  Most code uses the process-wide
+// Default registry; private registries exist so components under test can
+// count in isolation.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry the CLIs expose.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// labelKey canonically encodes a label set (pairs sorted by name).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\xff')
+		b.WriteString(l.Value)
+		b.WriteByte('\xfe')
+	}
+	return b.String()
+}
+
+// pairsToLabels converts variadic "name, value, name, value" arguments into
+// a sorted label slice; it panics on an odd count (a programming error at a
+// registration site, never data-dependent).
+func pairsToLabels(pairs []string) []Label {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label pair count %d", len(pairs)))
+	}
+	labels := make([]Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		labels = append(labels, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	return labels
+}
+
+// getFamily returns the family for name, creating it with the given type and
+// help on first registration.  Re-registering an existing name with a
+// different type panics (two subsystems claiming one name differently is a
+// programming error worth failing loudly on).
+func (r *Registry) getFamily(name, help string, typ MetricType, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, series: make(map[string]*seriesEntry)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// Counter returns the counter series name{labels}, creating it on first use.
+// labels are "name, value" pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, TypeCounter, nil)
+	ls := pairsToLabels(labels)
+	key := labelKey(ls)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.series[key]
+	if !ok {
+		e = &seriesEntry{labels: ls, c: &Counter{}}
+		f.series[key] = e
+	}
+	return e.c
+}
+
+// Gauge returns the gauge series name{labels}, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, TypeGauge, nil)
+	ls := pairsToLabels(labels)
+	key := labelKey(ls)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.series[key]
+	if !ok {
+		e = &seriesEntry{labels: ls, g: &Gauge{}}
+		f.series[key] = e
+	}
+	return e.g
+}
+
+// Histogram returns the histogram series name{labels} with the family's
+// bucket bounds (sorted ascending, +Inf implicit), creating it on first use.
+// The bounds of the first registration win for the whole family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	f := r.getFamily(name, help, TypeHistogram, sorted)
+	ls := pairsToLabels(labels)
+	key := labelKey(ls)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.series[key]
+	if !ok {
+		h := &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds))}
+		e = &seriesEntry{labels: ls, h: h}
+		f.series[key] = e
+	}
+	return e.h
+}
+
+// Gather freezes every family into a snapshot, families in registration
+// order, series in sorted label order.
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		for _, k := range keys {
+			e := f.series[k]
+			s := Sample{Labels: e.labels}
+			switch {
+			case e.c != nil:
+				s.Value = float64(e.c.Value())
+			case e.g != nil:
+				s.Value = e.g.Value()
+			case e.h != nil:
+				snap := e.h.snapshot()
+				s.Hist = &snap
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// CounterValue returns the current value of the counter series name{labels},
+// or 0 when it does not exist.  It is the read side for code that renders
+// summaries from the registry instead of keeping parallel counts.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok || f.typ != TypeCounter {
+		return 0
+	}
+	key := labelKey(pairsToLabels(labels))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.series[key]; ok {
+		return e.c.Value()
+	}
+	return 0
+}
+
+// Reset zeroes every series in the registry (families and series stay
+// registered).  Campaign CLIs reset at startup so one process invocation
+// reports one campaign; long-running servers never call it.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, e := range f.series {
+			switch {
+			case e.c != nil:
+				e.c.v.Store(0)
+			case e.g != nil:
+				e.g.Set(0)
+			case e.h != nil:
+				for i := range e.h.counts {
+					e.h.counts[i].Store(0)
+				}
+				e.h.inf.Store(0)
+				e.h.sum.Set(0)
+				e.h.count.Store(0)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
